@@ -1,0 +1,52 @@
+// Ablation: contribution of MG-Join's individual techniques at 8 GPUs —
+// adaptive routing, network-optimal partition assignment, transfer
+// compression and compute/transfer overlap (DESIGN.md Sec 5).
+
+#include "bench/bench_util.h"
+
+using namespace mgjoin;
+using namespace mgjoin::bench;
+
+int main() {
+  PrintHeader("Ablation: feature removal",
+              "total join time (ms), 8 GPUs, one feature disabled at a "
+              "time");
+  auto topo = topo::MakeDgx1V();
+  const auto gpus = topo::FirstNGpus(8);
+  auto [r, s] = PaperInput(8);
+
+  struct Variant {
+    const char* name;
+    join::MgJoinOptions opts;
+  };
+  join::MgJoinOptions full;
+  join::MgJoinOptions no_adaptive;
+  no_adaptive.policy = net::PolicyKind::kBandwidth;
+  join::MgJoinOptions direct_only;
+  direct_only.policy = net::PolicyKind::kDirect;
+  join::MgJoinOptions no_assign;
+  no_assign.assignment = join::AssignmentStrategy::kRoundRobin;
+  join::MgJoinOptions no_compress;
+  no_compress.use_compression = false;
+  join::MgJoinOptions no_overlap;
+  no_overlap.overlap = false;
+
+  const Variant variants[] = {
+      {"MG-Join (full)", full},
+      {"- adaptive (static bandwidth)", no_adaptive},
+      {"- multi-hop (direct routes)", direct_only},
+      {"- network-optimal assignment", no_assign},
+      {"- compression", no_compress},
+      {"- overlap (bulk transfer)", no_overlap},
+      {"DPRJ (all removed)", join::MgJoinOptions::Dprj()},
+  };
+  std::printf("%-34s %-10s %-12s\n", "variant", "total_ms", "vs_full");
+  double base = 0;
+  for (const Variant& v : variants) {
+    const auto res = RunJoin(topo.get(), gpus, r, s, v.opts);
+    const double ms = sim::ToMillis(res.timing.total);
+    if (base == 0) base = ms;
+    std::printf("%-34s %-10.1f %.2fx\n", v.name, ms, ms / base);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Ablation: end-to-end MG-Join distribution time over the packet-size x
+// batch-size grid (the paper fixes 2 MB x 8 after profiling; Sec 4.1).
+
+#include "bench/bench_util.h"
+
+using namespace mgjoin;
+using namespace mgjoin::bench;
+
+int main() {
+  PrintHeader("Ablation: packet x batch",
+              "distribution time (ms), 8 GPUs, adaptive routing");
+  auto topo = topo::MakeDgx1V();
+  const auto gpus = topo::FirstNGpus(8);
+  const std::uint64_t total = 8ull * 512 * kMTuples * 2 * 8;  // bytes
+  const auto flows = ShuffleFlows(gpus, total);
+
+  std::printf("%-12s", "packet_KiB");
+  for (int b : {1, 4, 8, 16}) std::printf(" batch=%-6d", b);
+  std::printf("\n");
+  for (std::uint64_t kb : {512, 1024, 2048, 4096, 8192}) {
+    std::printf("%-12llu", static_cast<unsigned long long>(kb));
+    for (int b : {1, 4, 8, 16}) {
+      net::TransferOptions opts;
+      opts.packet_bytes = kb * kKiB;
+      opts.batch_packets = b;
+      const auto run = RunDistribution(topo.get(), gpus, flows,
+                                       net::PolicyKind::kAdaptive, opts);
+      std::printf(" %-12.1f", sim::ToMillis(run.stats.Makespan()));
+    }
+    std::printf("\n");
+  }
+  std::printf("# paper: 2 MB x 8 balances overlap and bandwidth\n");
+  return 0;
+}

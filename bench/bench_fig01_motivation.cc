@@ -1,0 +1,45 @@
+// Figure 1: join performance and execution-time breakdown of existing
+// partitioned hash joins (UMJ, DPRJ) on the DGX-1, 1-8 GPUs, 512M tuples
+// of each relation per GPU, 100% join selectivity.
+
+#include "bench/bench_util.h"
+#include "join/umj.h"
+
+using namespace mgjoin;
+using namespace mgjoin::bench;
+
+int main() {
+  PrintHeader("Figure 1",
+              "cycles/tuple of UMJ and DPRJ with DPRJ transfer/compute "
+              "breakdown");
+  std::printf(
+      "# cycles are aggregated over the 80 SMs (time x clock x SMs / "
+      "tuples per GPU)\n");
+  auto topo = topo::MakeDgx1V();
+  std::printf("%-6s %-22s %-14s %-14s %-14s\n", "gpus", "series",
+              "cycles/tuple", "transfer", "compute");
+  for (int g : {1, 2, 4, 8}) {
+    auto gpus = topo::FirstNGpus(g);
+    auto [r, s] = PaperInput(g);
+    const std::uint64_t per_gpu = 2 * kFuncTuplesPerGpu * kPaperScale;
+
+    const join::JoinResult dprj =
+        RunJoin(topo.get(), gpus, r, s, join::MgJoinOptions::Dprj());
+    const double total_cpt = 80 * CyclesPerTuple(dprj.timing.total, per_gpu);
+    const double xfer_cpt =
+        80 * CyclesPerTuple(dprj.timing.distribution_exposed, per_gpu);
+    std::printf("%-6d %-22s %-14.1f %-14.1f %-14.1f\n", g,
+                "DPRJ", total_cpt, xfer_cpt, total_cpt - xfer_cpt);
+
+    join::UmjOptions uo;
+    uo.virtual_scale = kPaperScale;
+    join::UmJoin umj(topo.get(), gpus, uo);
+    const join::JoinResult ur = umj.Execute(r, s).ValueOrDie();
+    std::printf("%-6d %-22s %-14.1f %-14s %-14s\n", g, "UMJ",
+                80 * CyclesPerTuple(ur.timing.total, per_gpu), "-", "-");
+  }
+  std::printf(
+      "# paper shape: both scale poorly; DPRJ transfer share grows to "
+      "~66%%; UMJ on 5-8 GPUs slower than on 1 GPU\n");
+  return 0;
+}

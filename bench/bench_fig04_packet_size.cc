@@ -1,0 +1,27 @@
+// Figure 4: achievable throughput of the NVLink and PCIe interconnects
+// for packet sizes from 2 KB to 16 MB (link microbenchmark).
+
+#include "bench/bench_util.h"
+#include "topo/link.h"
+
+using namespace mgjoin;
+
+int main() {
+  bench::PrintHeader("Figure 4",
+                     "link throughput vs packet size (GB/s)");
+  std::printf("%-12s %-10s %-10s %-10s\n", "packet_KiB", "PCIe", "NVLink",
+              "QPI");
+  for (std::uint64_t kb = 2; kb <= 16384; kb *= 2) {
+    std::printf("%-12llu %-10.2f %-10.2f %-10.2f\n",
+                static_cast<unsigned long long>(kb),
+                topo::EffectiveBandwidth(topo::LinkType::kPcie3,
+                                         kb * kKiB) / kGBps,
+                topo::EffectiveBandwidth(topo::LinkType::kNvLink1,
+                                         kb * kKiB) / kGBps,
+                topo::EffectiveBandwidth(topo::LinkType::kQpi,
+                                         kb * kKiB) / kGBps);
+  }
+  std::printf(
+      "# paper shape: ~20x degradation at 2 KB; saturation near 12 MB\n");
+  return 0;
+}

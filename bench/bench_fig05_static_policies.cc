@@ -1,0 +1,60 @@
+// Figure 5: impact of hardware configuration (5a) and of data
+// distribution & packet size (5b) on the static routing policies, for
+// the data-distribution step over an equi-join of 1B uniformly
+// distributed tuples.
+
+#include "bench/bench_util.h"
+
+using namespace mgjoin;
+using namespace mgjoin::bench;
+
+namespace {
+
+// |R|+|S| = 1B tuples x 8 bytes (paper: 512M tuples each).
+constexpr std::uint64_t kTotalBytes = 1024ull * kMTuples * 8;
+
+void RunConfig(const topo::Topology* topo, const std::vector<int>& gpus,
+               const std::string& label, double zipf,
+               std::uint64_t packet_bytes) {
+  net::TransferOptions opts;
+  opts.packet_bytes = packet_bytes;
+  const auto flows = ShuffleFlows(gpus, kTotalBytes, zipf);
+  for (net::PolicyKind kind :
+       {net::PolicyKind::kBandwidth, net::PolicyKind::kHopCount,
+        net::PolicyKind::kLatency}) {
+    const DistributionRun run =
+        RunDistribution(topo, gpus, flows, kind, opts);
+    std::printf("%-16s %-12s %-10.1f\n", label.c_str(),
+                net::PolicyKindName(kind),
+                sim::ToMillis(run.stats.Makespan()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto topo = topo::MakeDgx1V();
+
+  PrintHeader("Figure 5a", "static policy time (ms) vs GPU subset");
+  std::printf("%-16s %-12s %-10s\n", "config", "policy", "time_ms");
+  RunConfig(topo.get(), {0, 3, 4}, "{0,3,4}", 0.0, 2 * kMiB);
+  RunConfig(topo.get(), {0, 3, 4, 7}, "{0,3,4,7}", 0.0, 2 * kMiB);
+  RunConfig(topo.get(), {0, 1, 2, 3, 4}, "{0,1,2,3,4}", 0.0, 2 * kMiB);
+
+  std::printf("\n");
+  PrintHeader("Figure 5b",
+              "static policy time (ms) vs packet size (KB) and Zipf "
+              "factor, GPUs {0,3,4,7}");
+  std::printf("%-16s %-12s %-10s\n", "packet(zipf)", "policy", "time_ms");
+  for (std::uint64_t kb : {128, 512, 2048}) {
+    for (double z : {0.0, 0.5, 1.0}) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "%llu(%.1f)",
+                    static_cast<unsigned long long>(kb), z);
+      RunConfig(topo.get(), {0, 3, 4, 7}, label, z, kb * kKiB);
+    }
+  }
+  std::printf(
+      "# paper shape: no static policy wins across configurations\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Component microbenchmarks (google-benchmark): functional-layer hot
+// paths — histogram build, radix bucketing, compression codec, local
+// join, routing decisions and the event simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "data/compression.h"
+#include "data/generator.h"
+#include "join/histogram.h"
+#include "join/local_join.h"
+#include "net/link_state.h"
+#include "net/routing_policy.h"
+#include "sim/simulator.h"
+#include "topo/presets.h"
+
+namespace mgjoin {
+namespace {
+
+void BM_HistogramBuild(benchmark::State& state) {
+  data::GenOptions opts;
+  opts.tuples_per_relation = static_cast<std::uint64_t>(state.range(0));
+  opts.num_gpus = 1;
+  auto [r, s] = data::MakeJoinInput(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join::BuildHistograms(r, 12));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CompressionRoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  const int domain_bits = 24, radix_bits = 12;
+  std::vector<data::Tuple> tuples(state.range(0));
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    tuples[i].key = static_cast<std::uint32_t>(rng.Uniform(1u << 12));
+    tuples[i].id = static_cast<std::uint32_t>(i * 3);
+  }
+  for (auto _ : state) {
+    auto cp = data::CompressPartition(tuples.data(), tuples.size(), 0,
+                                      domain_bits, radix_bits);
+    auto back = data::DecompressPartition(cp.value());
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompressionRoundTrip)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_LocalJoin(benchmark::State& state) {
+  data::GenOptions opts;
+  opts.tuples_per_relation = static_cast<std::uint64_t>(state.range(0));
+  opts.num_gpus = 1;
+  auto [r, s] = data::MakeJoinInput(opts);
+  for (auto _ : state) {
+    std::vector<std::vector<data::Tuple>> rp{r.shards[0]};
+    std::vector<std::vector<data::Tuple>> sp{s.shards[0]};
+    benchmark::DoNotOptimize(
+        join::LocalPartitionAndProbe(&rp, &sp, join::LocalJoinOptions{}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_LocalJoin)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RouteEnumeration(benchmark::State& state) {
+  auto topo = topo::MakeDgx1V();
+  int src = 0;
+  for (auto _ : state) {
+    // Rotate pairs; the per-pair cache makes steady-state cost visible.
+    const int dst = (src + 5) % 8;
+    benchmark::DoNotOptimize(topo->EnumerateRoutes(src, dst, 3));
+    src = (src + 1) % 8;
+  }
+}
+BENCHMARK(BM_RouteEnumeration);
+
+void BM_AdaptiveRoutingDecision(benchmark::State& state) {
+  auto topo = topo::MakeDgx1V();
+  sim::Simulator s;
+  net::LinkStateTable links(&s, topo.get());
+  auto policy = net::MakePolicy(net::PolicyKind::kAdaptive);
+  int src = 0;
+  for (auto _ : state) {
+    const int dst = (src + 5) % 8;
+    benchmark::DoNotOptimize(
+        policy->ChooseRoute(src, dst, 2 * kMiB, 8, links));
+    src = (src + 1) % 8;
+  }
+}
+BENCHMARK(BM_AdaptiveRoutingDecision);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) s.Schedule(10, tick);
+    };
+    s.Schedule(1, tick);
+    s.Run();
+    benchmark::DoNotOptimize(s.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ZipfGeneration(benchmark::State& state) {
+  ZipfGenerator zipf(1 << 20, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_ZipfGeneration);
+
+}  // namespace
+}  // namespace mgjoin
+
+BENCHMARK_MAIN();

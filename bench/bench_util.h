@@ -1,0 +1,143 @@
+#ifndef MGJOIN_BENCH_BENCH_UTIL_H_
+#define MGJOIN_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// regenerates the series of one paper figure and prints a plain-text
+// table (series name, x, y) so results can be diffed against
+// EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "data/generator.h"
+#include "join/mg_join.h"
+#include "join/umj.h"
+#include "net/routing_policy.h"
+#include "net/transfer_engine.h"
+#include "sim/simulator.h"
+#include "topo/presets.h"
+
+namespace mgjoin::bench {
+
+/// Functional tuples per GPU per relation used by the join benches; the
+/// virtual scale below lifts the simulated inputs to the paper's 512M
+/// tuples per GPU per relation.
+inline constexpr std::uint64_t kFuncTuplesPerGpu = 1ull << 19;
+inline constexpr double kPaperScale =
+    static_cast<double>(512 * kMTuples) / kFuncTuplesPerGpu;
+
+/// Generates the paper's workload for `g` GPUs at functional scale.
+inline std::pair<data::DistRelation, data::DistRelation> PaperInput(
+    int g, double placement_zipf = 0.0, double key_zipf = 0.0,
+    std::uint64_t tuples_per_gpu = kFuncTuplesPerGpu) {
+  data::GenOptions opts;
+  opts.tuples_per_relation = tuples_per_gpu * g;
+  opts.num_gpus = g;
+  opts.placement_zipf = placement_zipf;
+  opts.key_zipf = key_zipf;
+  return data::MakeJoinInput(opts);
+}
+
+/// Runs one join configuration and returns the result (aborts on error;
+/// benches own their inputs).
+inline join::JoinResult RunJoin(const topo::Topology* topo,
+                                const std::vector<int>& gpus,
+                                const data::DistRelation& r,
+                                const data::DistRelation& s,
+                                join::MgJoinOptions opts,
+                                double virtual_scale = kPaperScale) {
+  opts.virtual_scale = virtual_scale;
+  join::MgJoin j(topo, gpus, opts);
+  return j.Execute(r, s).ValueOrDie();
+}
+
+/// Result of a distribution-only run (the data-distribution step of the
+/// global partitioning phase in isolation).
+struct DistributionRun {
+  net::TransferStats stats;
+  double cross_cut_bytes = 0;  ///< wire bytes over the min-bisection cut
+  double bisection_bw = 0;     ///< bytes/s (both directions)
+
+  /// The paper's Figure 8 metric: aggregate transfer throughput (all
+  /// bytes put on the wire, including forwarding hops, per unit time)
+  /// normalized to the configuration's bisection bandwidth.
+  double Utilization() const {
+    const double secs = sim::ToSeconds(stats.Makespan());
+    if (secs <= 0 || bisection_bw <= 0) return 0;
+    return (static_cast<double>(stats.wire_bytes) / secs) / bisection_bw;
+  }
+
+  /// Stricter variant: only traffic actually crossing the minimum cut.
+  double CrossCutUtilization() const {
+    const double secs = sim::ToSeconds(stats.Makespan());
+    if (secs <= 0 || bisection_bw <= 0) return 0;
+    return (cross_cut_bytes / secs) / bisection_bw;
+  }
+};
+
+/// All-to-all shuffle flows: GPU i holds `total_bytes` x w_i (Zipf
+/// placement weights) and sends a 1/g share to every other GPU.
+inline std::vector<net::Flow> ShuffleFlows(const std::vector<int>& gpus,
+                                           std::uint64_t total_bytes,
+                                           double placement_zipf = 0.0) {
+  const int g = static_cast<int>(gpus.size());
+  const auto held =
+      data::PlacementSizes(total_bytes, g, placement_zipf);
+  std::vector<net::Flow> flows;
+  std::uint64_t id = 0;
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      if (i == j) continue;
+      flows.push_back(net::Flow{id++, gpus[i], gpus[j],
+                                held[i] / static_cast<std::uint64_t>(g),
+                                0, 0.0});
+    }
+  }
+  return flows;
+}
+
+/// Runs a distribution-only experiment under `kind`.
+inline DistributionRun RunDistribution(const topo::Topology* topo,
+                                       const std::vector<int>& gpus,
+                                       const std::vector<net::Flow>& flows,
+                                       net::PolicyKind kind,
+                                       net::TransferOptions options = {}) {
+  sim::Simulator s;
+  auto policy = net::MakePolicy(kind, options.max_intermediates);
+  net::TransferEngine eng(&s, topo, gpus, policy.get(), options);
+  for (const net::Flow& f : flows) eng.AddFlow(f);
+  eng.Start();
+  s.Run();
+
+  DistributionRun run;
+  run.stats = eng.stats();
+  const auto cut = topo->MinBisectionCut(gpus);
+  run.bisection_bw = cut.bandwidth;
+  for (int l = 0; l < topo->num_links(); ++l) {
+    if (!cut.link_crossing[l]) continue;
+    run.cross_cut_bytes += static_cast<double>(
+        eng.links().BytesMoved({l, 0}) + eng.links().BytesMoved({l, 1}));
+  }
+  return run;
+}
+
+/// The paper's Figure 1 metric: GPU cycles per tuple, normalized to the
+/// per-GPU tuple count (per-GPU load is constant across configurations).
+inline double CyclesPerTuple(sim::SimTime t, std::uint64_t tuples_per_gpu,
+                             double clock_hz = 1.53e9) {
+  return sim::ToSeconds(t) * clock_hz / static_cast<double>(tuples_per_gpu);
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+  std::printf(
+      "# workload: 8-byte tuples, |R|=|S|, 512M tuples/GPU/relation "
+      "(simulated via virtual scale %.0f)\n",
+      kPaperScale);
+}
+
+}  // namespace mgjoin::bench
+
+#endif  // MGJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Routing explorer: inspect the DGX-1 fabric — candidate routes between
+// GPU pairs, what each policy picks, and how choices change once links
+// congest.
+//
+//   ./routing_explorer [src_gpu] [dst_gpu]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/units.h"
+#include "net/link_state.h"
+#include "net/routing_policy.h"
+#include "sim/simulator.h"
+#include "topo/presets.h"
+
+using namespace mgjoin;
+
+int main(int argc, char** argv) {
+  const int src = argc > 1 ? std::atoi(argv[1]) : 0;
+  const int dst = argc > 2 ? std::atoi(argv[2]) : 7;
+  auto topo = topo::MakeDgx1V();
+  if (src < 0 || dst < 0 || src >= 8 || dst >= 8 || src == dst) {
+    std::fprintf(stderr, "usage: routing_explorer <src 0-7> <dst 0-7>\n");
+    return 1;
+  }
+
+  std::printf("candidate routes %d -> %d (<=3 intermediate hops):\n", src,
+              dst);
+  for (const topo::Route& r : topo->EnumerateRoutes(src, dst)) {
+    std::printf("  %-16s bottleneck %-10s latency %6.1f us\n",
+                r.ToString().c_str(),
+                FormatBandwidth(
+                    topo->RouteBottleneckBandwidth(r, 2 * kMiB))
+                    .c_str(),
+                sim::ToMicros(topo->RouteLatency(r)));
+  }
+
+  sim::Simulator s;
+  net::LinkStateTable links(&s, topo.get());
+  std::printf("\nidle fabric:\n");
+  for (net::PolicyKind kind :
+       {net::PolicyKind::kBandwidth, net::PolicyKind::kHopCount,
+        net::PolicyKind::kLatency, net::PolicyKind::kAdaptive}) {
+    auto policy = net::MakePolicy(kind);
+    std::printf("  %-10s -> %s\n", net::PolicyKindName(kind),
+                policy->ChooseRoute(src, dst, 2 * kMiB, 8, links)
+                    .ToString()
+                    .c_str());
+  }
+
+  // Congest the adaptive policy's preferred route and watch it move.
+  auto adaptive = net::MakePolicy(net::PolicyKind::kAdaptive);
+  const topo::Route before =
+      adaptive->ChooseRoute(src, dst, 2 * kMiB, 8, links);
+  for (int n = 0; n < 64; ++n) {
+    for (std::size_t i = 0; i + 1 < before.gpus.size(); ++i) {
+      links.ReserveChannel(topo->channel(before.gpus[i], before.gpus[i + 1]),
+                           16 * kMiB);
+    }
+  }
+  s.RunUntil(s.Now() + 10 * sim::kMicrosecond);  // broadcasts propagate
+  const topo::Route after =
+      adaptive->ChooseRoute(src, dst, 2 * kMiB, 8, links);
+  std::printf("\nafter congesting %s:\n  adaptive  -> %s%s\n",
+              before.ToString().c_str(), after.ToString().c_str(),
+              after == before ? "  (unchanged)" : "  (re-routed)");
+  return 0;
+}

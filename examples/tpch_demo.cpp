@@ -1,0 +1,71 @@
+// TPC-H demo: generate data, run one of the paper's six queries through
+// the MG-Join-backed engine and print its plan timings and result.
+//
+//   ./tpch_demo [query: 3|5|10|12|14|19] [functional_sf]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exec/engine.h"
+#include "topo/presets.h"
+#include "tpch/dbgen.h"
+#include "tpch/omnisci_model.h"
+#include "tpch/queries.h"
+
+using namespace mgjoin;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "3";
+  const double sf = argc > 2 ? std::atof(argv[2]) : 0.05;
+  const double virtual_sf = 250.0;
+
+  auto topo = topo::MakeDgx1V();
+  const auto gpus = topo::FirstNGpus(8);
+  std::printf("generating TPC-H at functional SF %.2f (simulating SF %.0f) "
+              "over 8 GPUs...\n", sf, virtual_sf);
+  const tpch::TpchData db = tpch::GenerateTpch(sf, 8);
+  std::printf("lineitem %llu rows, orders %llu, customer %llu, part %llu\n",
+              static_cast<unsigned long long>(db.lineitem.rows()),
+              static_cast<unsigned long long>(db.orders.rows()),
+              static_cast<unsigned long long>(db.customer.rows()),
+              static_cast<unsigned long long>(db.part.rows()));
+
+  tpch::QueryFn fn = nullptr;
+  for (const auto& [name, f] : tpch::AllQueries()) {
+    if (name == "Q" + which) fn = f;
+  }
+  if (fn == nullptr) {
+    std::fprintf(stderr, "unknown query Q%s (supported: 3 5 10 12 14 19)\n",
+                 which.c_str());
+    return 1;
+  }
+
+  exec::EngineOptions opts;
+  opts.join.virtual_scale = virtual_sf / sf;
+  exec::Engine eng(topo.get(), gpus, opts);
+  const tpch::QueryOutput out = fn(eng, db).ValueOrDie();
+
+  std::printf("\n%s at simulated SF %.0f:\n", out.name.c_str(), virtual_sf);
+  std::printf("  MG-Join engine: %.3f s\n", sim::ToSeconds(out.time));
+  std::printf("  result rows:    %llu, headline value %.6g\n",
+              static_cast<unsigned long long>(out.result_rows), out.value);
+
+  const auto cpu =
+      tpch::EstimateOmnisci(out.ops, tpch::OmnisciMode::kCpu, 8);
+  const auto gpu =
+      tpch::EstimateOmnisci(out.ops, tpch::OmnisciMode::kGpu, 8);
+  std::printf("  OmniSci CPU model: %.1f s (%.0fx)\n",
+              sim::ToSeconds(cpu.time),
+              static_cast<double>(cpu.time) /
+                  static_cast<double>(out.time));
+  if (gpu.supported) {
+    std::printf("  OmniSci GPU model: %.2f s (%.1fx)\n",
+                sim::ToSeconds(gpu.time),
+                static_cast<double>(gpu.time) /
+                    static_cast<double>(out.time));
+  } else {
+    std::printf("  OmniSci GPU model: NA — %s\n", gpu.reason.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef MGJOIN_COMMON_HASH_H_
+#define MGJOIN_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace mgjoin {
+
+/// Finalizer from MurmurHash3: a cheap, high-quality 32-bit mixer. Used
+/// for hash-partitioning join keys; radix partitioning in MG-Join takes
+/// the top bits of this value so that sequential keys spread uniformly.
+inline std::uint32_t HashKey(std::uint32_t k) {
+  k ^= k >> 16;
+  k *= 0x85EBCA6Bu;
+  k ^= k >> 13;
+  k *= 0xC2B2AE35u;
+  k ^= k >> 16;
+  return k;
+}
+
+/// 64-bit variant (splitmix64 finalizer) for wide keys in the TPC-H layer.
+inline std::uint64_t HashKey64(std::uint64_t k) {
+  k ^= k >> 30;
+  k *= 0xBF58476D1CE4E5B9ull;
+  k ^= k >> 27;
+  k *= 0x94D049BB133111EBull;
+  k ^= k >> 31;
+  return k;
+}
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_HASH_H_

@@ -1,0 +1,59 @@
+#ifndef MGJOIN_COMMON_LOGGING_H_
+#define MGJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mgjoin {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kFatal };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn
+/// so that library code stays quiet in benchmarks unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MGJ_LOG(level)                                                  \
+  ::mgjoin::internal::LogMessage(::mgjoin::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+/// CHECK-style invariant assertions: active in all build types because
+/// the simulator's correctness depends on them.
+#define MGJ_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  ::mgjoin::internal::LogMessage(::mgjoin::LogLevel::kFatal,     \
+                                 __FILE__, __LINE__)             \
+      << "Check failed: " #cond " "
+
+#define MGJ_CHECK_OK(expr)                                       \
+  do {                                                           \
+    ::mgjoin::Status _st = (expr);                               \
+    MGJ_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#define MGJ_DCHECK(cond) MGJ_CHECK(cond)
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mgjoin {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Uniform(std::uint64_t bound) {
+  // Lemire's nearly-divisionless method would be overkill here; a simple
+  // rejection loop keeps the distribution exactly uniform.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double z, std::uint64_t seed)
+    : n_(n), z_(z), rng_(seed) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), z);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace mgjoin

@@ -1,0 +1,67 @@
+#ifndef MGJOIN_COMMON_RANDOM_H_
+#define MGJOIN_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mgjoin {
+
+/// \brief Fast, reproducible pseudo-random generator (xoshiro256**).
+///
+/// All data generation in the repository goes through this generator so
+/// that every experiment is bit-reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next 64 random bits.
+  std::uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed integer generator over [0, n).
+///
+/// Uses the standard inverse-CDF method with a precomputed cumulative
+/// table (n is at most a few million in our workloads, so the table is
+/// cheap). z = 0 degenerates to the uniform distribution, matching the
+/// paper's "Zipf factor" axis in Figures 5b and 9.
+class ZipfGenerator {
+ public:
+  /// \param n     number of distinct values
+  /// \param z     Zipf skew parameter (>= 0)
+  /// \param seed  RNG seed
+  ZipfGenerator(std::uint64_t n, double z, std::uint64_t seed = 42);
+
+  /// Returns the next Zipf-distributed value in [0, n).
+  std::uint64_t Next();
+
+  std::uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  std::uint64_t n_;
+  double z_;
+  Rng rng_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_RANDOM_H_

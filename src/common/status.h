@@ -1,0 +1,141 @@
+#ifndef MGJOIN_COMMON_STATUS_H_
+#define MGJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mgjoin {
+
+/// Error codes used across the library. Modeled after the RocksDB / Arrow
+/// convention of returning a Status object instead of throwing exceptions
+/// across library boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Non-OK
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "InvalidArgument: packet size must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<Topology> topo = Topology::Make(opts);
+///   if (!topo.ok()) return topo.status();
+///   Use(topo.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                        // NOLINT(runtime/explicit)
+      : var_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  T& value() & { return std::get<T>(var_); }
+  const T& value() const& { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+  /// Moves the value out, aborting if the Result holds an error. Only for
+  /// call sites that have already checked ok() or are in test code.
+  T ValueOrDie() && {
+    if (!ok()) {
+      Abort(status());
+    }
+    return std::get<T>(std::move(var_));
+  }
+
+ private:
+  [[noreturn]] static void Abort(const Status& st);
+
+  std::variant<T, Status> var_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const std::string& rendered);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const Status& st) {
+  internal::AbortWithStatus(st.ToString());
+}
+
+/// Propagates a non-OK Status from the current function.
+#define MGJ_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::mgjoin::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error.
+#define MGJ_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto MGJ_CONCAT_(_res, __LINE__) = (rexpr);   \
+  if (!MGJ_CONCAT_(_res, __LINE__).ok())        \
+    return MGJ_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(MGJ_CONCAT_(_res, __LINE__)).value()
+
+#define MGJ_CONCAT_INNER_(a, b) a##b
+#define MGJ_CONCAT_(a, b) MGJ_CONCAT_INNER_(a, b)
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace mgjoin {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(fn));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool pool(std::thread::hardware_concurrency());
+  return &pool;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  ThreadPool* pool = ThreadPool::Default();
+  if (n < 2 || pool->num_threads() < 2) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    pool->Submit([i, &fn] { fn(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace mgjoin

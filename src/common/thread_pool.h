@@ -1,0 +1,59 @@
+#ifndef MGJOIN_COMMON_THREAD_POOL_H_
+#define MGJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mgjoin {
+
+/// \brief Minimal fixed-size thread pool for the functional layer.
+///
+/// The simulated GPUs process real tuples; ParallelFor spreads that work
+/// over host threads so large functional runs stay tractable. Simulation
+/// *timing* never depends on the pool — the discrete-event clock is
+/// single-threaded and deterministic.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns immediately.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Returns a process-wide pool sized to the hardware concurrency.
+  static ThreadPool* Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(i) for i in [begin, end) across the default pool, blocking
+/// until all iterations complete. Falls back to serial execution for
+/// small ranges.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace mgjoin {
+
+std::string FormatBytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatBandwidth(double bytes_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f GB/s", bytes_per_sec / kGBps);
+  return buf;
+}
+
+}  // namespace mgjoin

@@ -1,0 +1,30 @@
+#ifndef MGJOIN_COMMON_UNITS_H_
+#define MGJOIN_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mgjoin {
+
+/// Byte-size literals. The paper uses binary units (1M tuples = 2^20).
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Tuple-count units matching the paper's convention (M = 1,048,576).
+inline constexpr std::uint64_t kMTuples = 1ull << 20;
+inline constexpr std::uint64_t kBTuples = 1ull << 30;
+
+/// Bandwidths are stored as bytes per second. GB/s in the paper and in
+/// vendor datasheets are decimal gigabytes.
+inline constexpr double kGBps = 1e9;
+
+/// Formats a byte count as a human-readable string ("2.0 MiB").
+std::string FormatBytes(std::uint64_t bytes);
+
+/// Formats a bytes-per-second rate as "NN.N GB/s" (decimal GB).
+std::string FormatBandwidth(double bytes_per_sec);
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_UNITS_H_

@@ -1,0 +1,105 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mgjoin::data {
+
+std::vector<std::uint64_t> PlacementSizes(std::uint64_t total, int num_gpus,
+                                          double placement_zipf) {
+  std::vector<std::uint64_t> sizes(num_gpus, 0);
+  if (num_gpus <= 0) return sizes;
+  if (placement_zipf <= 0.0) {
+    for (int g = 0; g < num_gpus; ++g) {
+      sizes[g] = total / num_gpus + (static_cast<std::uint64_t>(g) <
+                                             total % num_gpus
+                                         ? 1
+                                         : 0);
+    }
+    return sizes;
+  }
+  double norm = 0.0;
+  std::vector<double> w(num_gpus);
+  for (int g = 0; g < num_gpus; ++g) {
+    w[g] = 1.0 / std::pow(static_cast<double>(g + 1), placement_zipf);
+    norm += w[g];
+  }
+  std::uint64_t assigned = 0;
+  for (int g = 0; g < num_gpus; ++g) {
+    sizes[g] = static_cast<std::uint64_t>(
+        static_cast<double>(total) * w[g] / norm);
+    assigned += sizes[g];
+  }
+  sizes[0] += total - assigned;  // rounding remainder to the heavy GPU
+  return sizes;
+}
+
+namespace {
+
+// Distributes `keys` (already in final order) over shards of the given
+// sizes, attaching sequential record ids.
+DistRelation Distribute(const std::vector<std::uint32_t>& keys,
+                        const std::vector<std::uint64_t>& sizes,
+                        int domain_bits) {
+  DistRelation rel;
+  rel.domain_bits = domain_bits;
+  rel.shards.resize(sizes.size());
+  std::uint64_t pos = 0;
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    rel.shards[g].resize(sizes[g]);
+    for (std::uint64_t i = 0; i < sizes[g]; ++i, ++pos) {
+      rel.shards[g][i] =
+          Tuple{keys[pos], static_cast<std::uint32_t>(pos)};
+    }
+  }
+  MGJ_CHECK(pos == keys.size());
+  return rel;
+}
+
+}  // namespace
+
+std::pair<DistRelation, DistRelation> MakeJoinInput(const GenOptions& opts) {
+  MGJ_CHECK(opts.num_gpus >= 1);
+  const std::uint64_t n = opts.tuples_per_relation;
+  const int domain_bits = std::max(1, Log2Ceil(n));
+
+  Rng rng(opts.seed);
+
+  // R: sequential keys, shuffled (each key exactly once).
+  std::vector<std::uint32_t> r_keys(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    r_keys[i] = static_cast<std::uint32_t>(i);
+  }
+  rng.Shuffle(&r_keys);
+
+  // S: unique shuffled keys for the uniform workload; Zipf-frequency
+  // keys for skewed workloads (heavy hitters).
+  std::vector<std::uint32_t> s_keys(n);
+  if (opts.key_zipf <= 0.0) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s_keys[i] = static_cast<std::uint32_t>(i);
+    }
+    rng.Shuffle(&s_keys);
+  } else {
+    // Rank-to-value map is itself a random permutation so that the hot
+    // keys are scattered over the domain (and over radix partitions,
+    // creating single-value skew partitions rather than one hot range).
+    std::vector<std::uint32_t> rank_to_value(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      rank_to_value[i] = static_cast<std::uint32_t>(i);
+    }
+    rng.Shuffle(&rank_to_value);
+    ZipfGenerator zipf(n, opts.key_zipf, opts.seed ^ 0xD1CEu);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s_keys[i] = rank_to_value[zipf.Next()];
+    }
+  }
+
+  const auto sizes = PlacementSizes(n, opts.num_gpus, opts.placement_zipf);
+  return {Distribute(r_keys, sizes, domain_bits),
+          Distribute(s_keys, sizes, domain_bits)};
+}
+
+}  // namespace mgjoin::data

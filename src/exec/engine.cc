@@ -1,0 +1,243 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "gpusim/kernel_model.h"
+
+namespace mgjoin::exec {
+
+namespace {
+
+// Locates the (shard, local row) of a global row id.
+struct ShardCursor {
+  explicit ShardCursor(const DistTable& t) {
+    base.push_back(0);
+    for (const Table& s : t.shards) {
+      base.push_back(base.back() + s.rows());
+    }
+  }
+  std::pair<int, std::uint64_t> Locate(std::uint64_t global) const {
+    int lo = 0, hi = static_cast<int>(base.size()) - 1;
+    while (hi - lo > 1) {
+      const int mid = (lo + hi) / 2;
+      (base[mid] <= global ? lo : hi) = mid;
+    }
+    return {lo, global - base[lo]};
+  }
+  std::vector<std::uint64_t> base;
+};
+
+}  // namespace
+
+void AppendRow(const Table& src, std::uint64_t row,
+               const std::vector<std::string>& columns, Table* dst) {
+  for (const std::string& name : columns) {
+    const Column& from = src.col(name);
+    Column& to = dst->col(name);
+    if (from.type == ColType::kDouble) {
+      to.doubles.push_back(from.doubles[row]);
+    } else {
+      to.ints.push_back(from.ints[row]);
+    }
+  }
+}
+
+Engine::Engine(const topo::Topology* topo, std::vector<int> gpus,
+               EngineOptions options)
+    : topo_(topo), gpus_(std::move(gpus)), options_(std::move(options)) {
+  MGJ_CHECK(!gpus_.empty());
+  gpu_clock_.assign(gpus_.size(), 0);
+  if (gpus_.size() > 1) {
+    bisection_bw_ = topo_->BisectionBandwidth(gpus_);
+  }
+}
+
+sim::SimTime Engine::elapsed() const {
+  return *std::max_element(gpu_clock_.begin(), gpu_clock_.end());
+}
+
+void Engine::ChargeScan(const std::vector<std::uint64_t>& bytes_per_shard) {
+  const gpusim::KernelModel kernels(options_.join.gpu);
+  const double vs = options_.join.virtual_scale;
+  for (std::size_t g = 0; g < gpu_clock_.size() && g < bytes_per_shard.size();
+       ++g) {
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(bytes_per_shard[g]) * vs);
+    gpu_clock_[g] += kernels.LaunchOverhead() +
+                     sim::TransferTime(bytes,
+                                       options_.join.gpu.EffectiveHbm());
+  }
+}
+
+void Engine::ChargeGather(
+    const std::vector<std::uint64_t>& bytes_per_shard) {
+  const gpusim::KernelModel kernels(options_.join.gpu);
+  const double vs = options_.join.virtual_scale;
+  const double bw = options_.join.gpu.hbm_bandwidth *
+                    options_.join.gpu.gather_efficiency;
+  std::uint64_t total = 0;
+  for (std::size_t g = 0; g < gpu_clock_.size() && g < bytes_per_shard.size();
+       ++g) {
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(bytes_per_shard[g]) * vs);
+    total += bytes;
+    gpu_clock_[g] += kernels.LaunchOverhead() +
+                     sim::TransferTime(bytes, bw);
+  }
+  // A (1 - 1/g) fraction of the fetched rows lives on remote GPUs; that
+  // payload streams over the fabric at a fraction of the bisection
+  // bandwidth (late materialization moves values, not just row ids).
+  const int g = num_gpus();
+  if (g > 1 && bisection_bw_ > 0) {
+    const double remote =
+        static_cast<double>(total) * (1.0 - 1.0 / g);
+    const sim::SimTime t = sim::FromSeconds(
+        remote / (bisection_bw_ * kFabricGatherEfficiency));
+    for (auto& clock : gpu_clock_) clock += t;
+  }
+}
+
+void Engine::ChargeTableScan(const DistTable& t) {
+  std::vector<std::uint64_t> bytes;
+  bytes.reserve(t.shards.size());
+  for (const Table& s : t.shards) bytes.push_back(s.TotalBytes());
+  ChargeScan(bytes);
+}
+
+DistTable Engine::Filter(const DistTable& in,
+                         const std::vector<std::string>& pred_columns,
+                         const Predicate& pred,
+                         const std::vector<std::string>& columns) {
+  DistTable out;
+  out.shards.resize(in.shards.size());
+  std::vector<std::uint64_t> charged(in.shards.size(), 0);
+  for (std::size_t g = 0; g < in.shards.size(); ++g) {
+    const Table& shard = in.shards[g];
+    Table& dst = out.shards[g];
+    for (const std::string& name : columns) {
+      dst.AddColumn(name, shard.col(name).type);
+    }
+    std::uint64_t pred_bytes = 0;
+    for (const std::string& name : pred_columns) {
+      pred_bytes += shard.col(name).ByteWidth();
+    }
+    std::uint64_t kept = 0;
+    for (std::uint64_t row = 0; row < shard.rows(); ++row) {
+      if (!pred(shard, row)) continue;
+      AppendRow(shard, row, columns, &dst);
+      ++kept;
+    }
+    std::uint64_t out_width = 0;
+    for (const std::string& name : columns) {
+      out_width += shard.col(name).ByteWidth();
+    }
+    charged[g] = pred_bytes * shard.rows() + out_width * kept;
+  }
+  ChargeScan(charged);
+  return out;
+}
+
+Result<Engine::Joined> Engine::HashJoin(const DistTable& left,
+                                        const std::string& left_key,
+                                        const DistTable& right,
+                                        const std::string& right_key) {
+  if (left.num_shards() != num_gpus() || right.num_shards() != num_gpus()) {
+    return Status::InvalidArgument("tables must be sharded per GPU");
+  }
+  // Build (key, global row id) relations for both sides.
+  data::DistRelation r, s;
+  r.shards.resize(num_gpus());
+  s.shards.resize(num_gpus());
+  std::int64_t max_key = 0;
+  std::uint64_t next_global = 0;
+  for (int g = 0; g < num_gpus(); ++g) {
+    const Column& c = left.shards[g].col(left_key);
+    r.shards[g].reserve(c.ints.size());
+    for (std::int64_t k : c.ints) {
+      if (k < 0 || k > 0xFFFFFFFFll) {
+        return Status::InvalidArgument("join key out of 32-bit range");
+      }
+      max_key = std::max(max_key, k);
+      r.shards[g].push_back(data::Tuple{
+          static_cast<std::uint32_t>(k),
+          static_cast<std::uint32_t>(next_global++)});
+    }
+  }
+  next_global = 0;
+  for (int g = 0; g < num_gpus(); ++g) {
+    const Column& c = right.shards[g].col(right_key);
+    s.shards[g].reserve(c.ints.size());
+    for (std::int64_t k : c.ints) {
+      if (k < 0 || k > 0xFFFFFFFFll) {
+        return Status::InvalidArgument("join key out of 32-bit range");
+      }
+      max_key = std::max(max_key, k);
+      s.shards[g].push_back(data::Tuple{
+          static_cast<std::uint32_t>(k),
+          static_cast<std::uint32_t>(next_global++)});
+    }
+  }
+  const int domain_bits =
+      std::max(1, Log2Ceil(static_cast<std::uint64_t>(max_key) + 1));
+  r.domain_bits = domain_bits;
+  s.domain_bits = domain_bits;
+
+  join::MgJoinOptions jopts = options_.join;
+  jopts.materialize_pairs = true;
+  join::MgJoin join(topo_, gpus_, jopts);
+  MGJ_ASSIGN_OR_RETURN(join::JoinResult res, join.Execute(r, s));
+
+  // The join is a barrier across the participating GPUs.
+  const sim::SimTime start = elapsed();
+  for (auto& clock : gpu_clock_) clock = start + res.timing.total;
+
+  Joined out;
+  out.pairs = std::move(res.pairs);
+  res.pairs.clear();
+  out.stats = std::move(res);
+  return out;
+}
+
+DistTable Engine::MaterializeJoin(
+    const DistTable& left, const DistTable& right,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+    const std::vector<std::string>& left_cols,
+    const std::vector<std::string>& right_cols) {
+  DistTable out;
+  const int g = num_gpus();
+  out.shards.resize(g);
+  const ShardCursor lcur(left), rcur(right);
+  for (int d = 0; d < g; ++d) {
+    Table& dst = out.shards[d];
+    for (const std::string& name : left_cols) {
+      dst.AddColumn(name, left.shards[0].col(name).type);
+    }
+    for (const std::string& name : right_cols) {
+      dst.AddColumn(name, right.shards[0].col(name).type);
+    }
+  }
+  std::uint64_t i = 0;
+  std::uint64_t width = 0;
+  for (const std::string& name : left_cols) {
+    width += left.shards[0].col(name).ByteWidth();
+  }
+  for (const std::string& name : right_cols) {
+    width += right.shards[0].col(name).ByteWidth();
+  }
+  for (const auto& [lrow, rrow] : pairs) {
+    Table& dst = out.shards[i++ % g];
+    const auto [ls, li] = lcur.Locate(lrow);
+    const auto [rs, ri] = rcur.Locate(rrow);
+    AppendRow(left.shards[ls], li, left_cols, &dst);
+    AppendRow(right.shards[rs], ri, right_cols, &dst);
+  }
+  // Gather cost: every output row fetches `width` bytes from random
+  // source rows, spread evenly.
+  std::vector<std::uint64_t> charged(
+      g, pairs.size() * width / std::max(1, g));
+  ChargeGather(charged);
+  return out;
+}
+
+}  // namespace mgjoin::exec

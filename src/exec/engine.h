@@ -1,0 +1,107 @@
+#ifndef MGJOIN_EXEC_ENGINE_H_
+#define MGJOIN_EXEC_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+#include "exec/table.h"
+#include "join/mg_join.h"
+#include "topo/topology.h"
+
+namespace mgjoin::exec {
+
+/// Options of the mini relational engine that hosts the TPC-H queries.
+struct EngineOptions {
+  /// Join configuration (routing policy, compression, virtual scale...).
+  /// The virtual scale also scales every scan's simulated time.
+  join::MgJoinOptions join;
+};
+
+/// \brief Minimal sharded relational engine: filters, MG-Join-backed
+/// equi-joins, and materialization, with a simulated per-query clock.
+///
+/// Operators execute functionally on the real shard data and charge the
+/// simulated clock via the GPU kernel cost model (scans, gathers) or the
+/// full MG-Join simulation (joins). One Engine instance accumulates one
+/// query's time; call elapsed() at the end.
+class Engine {
+ public:
+  Engine(const topo::Topology* topo, std::vector<int> gpus,
+         EngineOptions options);
+
+  /// Row predicate evaluated against one shard.
+  using Predicate = std::function<bool(const Table& shard, std::uint64_t row)>;
+
+  /// \brief Selects rows matching `pred`, keeping only `columns`.
+  ///
+  /// Charges one scan of the predicate columns plus the gather of the
+  /// output. `pred_columns` lists the columns the predicate reads.
+  DistTable Filter(const DistTable& in,
+                   const std::vector<std::string>& pred_columns,
+                   const Predicate& pred,
+                   const std::vector<std::string>& columns);
+
+  /// Matched global-row pairs of an equi-join.
+  struct Joined {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    join::JoinResult stats;
+  };
+
+  /// \brief Equi-join on int key columns, executed through MG-Join (or
+  /// whatever the options' policy/baseline dictates).
+  ///
+  /// Both key columns must be non-negative and fit in 32 bits at the
+  /// functional scale. The join is a barrier: every GPU's clock advances
+  /// by the simulated join time.
+  Result<Joined> HashJoin(const DistTable& left, const std::string& left_key,
+                          const DistTable& right,
+                          const std::string& right_key);
+
+  /// \brief Builds the joined intermediate table from HashJoin pairs,
+  /// keeping `left_cols` and `right_cols` (prefixing neither). The
+  /// result is re-sharded evenly. Charges the gather.
+  DistTable MaterializeJoin(
+      const DistTable& left, const DistTable& right,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+      const std::vector<std::string>& left_cols,
+      const std::vector<std::string>& right_cols);
+
+  /// Charges a sharded streaming scan of `bytes_per_shard`.
+  void ChargeScan(const std::vector<std::uint64_t>& bytes_per_shard);
+
+  /// Charges a sharded random-access gather (payload fetches during
+  /// materialization and aggregation run at GpuSpec::gather_efficiency).
+  void ChargeGather(const std::vector<std::uint64_t>& bytes_per_shard);
+
+  /// Charges a full scan of every shard of `t`.
+  void ChargeTableScan(const DistTable& t);
+
+  /// Simulated elapsed time of the query so far.
+  sim::SimTime elapsed() const;
+
+  int num_gpus() const { return static_cast<int>(gpus_.size()); }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// Fraction of bisection bandwidth the cross-GPU payload stream of a
+  /// gather sustains.
+  static constexpr double kFabricGatherEfficiency = 0.6;
+
+  const topo::Topology* topo_;
+  std::vector<int> gpus_;
+  EngineOptions options_;
+  std::vector<sim::SimTime> gpu_clock_;
+  double bisection_bw_ = 0.0;
+};
+
+/// Copies row `row` of every listed column from `src` into `dst`
+/// (appending). Exposed for the query implementations.
+void AppendRow(const Table& src, std::uint64_t row,
+               const std::vector<std::string>& columns, Table* dst);
+
+}  // namespace mgjoin::exec
+
+#endif  // MGJOIN_EXEC_ENGINE_H_

@@ -1,0 +1,54 @@
+#include "exec/table.h"
+
+namespace mgjoin::exec {
+
+Column& Table::AddColumn(const std::string& name, ColType type) {
+  MGJ_CHECK(index_.count(name) == 0) << "duplicate column " << name;
+  index_[name] = columns_.size();
+  names_.push_back(name);
+  columns_.emplace_back();
+  columns_.back().type = type;
+  return columns_.back();
+}
+
+const Column& Table::col(const std::string& name) const {
+  auto it = index_.find(name);
+  MGJ_CHECK(it != index_.end()) << "no column " << name;
+  return columns_[it->second];
+}
+
+Column& Table::col(const std::string& name) {
+  auto it = index_.find(name);
+  MGJ_CHECK(it != index_.end()) << "no column " << name;
+  return columns_[it->second];
+}
+
+std::uint64_t Table::rows() const {
+  return columns_.empty() ? 0 : columns_.front().size();
+}
+
+std::uint64_t Table::TotalBytes() const {
+  std::uint64_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.size() * c.ByteWidth();
+  return bytes;
+}
+
+const std::vector<std::string>& Table::dict(const std::string& name) const {
+  auto it = dicts_.find(name);
+  MGJ_CHECK(it != dicts_.end()) << "no dictionary for " << name;
+  return it->second;
+}
+
+std::int32_t DateToDays(int year, int month, int day) {
+  // Howard Hinnant's days_from_civil.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+}  // namespace mgjoin::exec

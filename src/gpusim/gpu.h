@@ -1,0 +1,65 @@
+#ifndef MGJOIN_GPUSIM_GPU_H_
+#define MGJOIN_GPUSIM_GPU_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace mgjoin::gpusim {
+
+/// \brief Compute/memory characteristics of one GPU.
+///
+/// Defaults describe the Tesla V100-SXM2-32GB in the DGX-1 (paper Sec
+/// 5.1: 80 SMs at 1.53 GHz boost, 32 GB HBM2 at 900 GB/s).
+struct GpuSpec {
+  int sm_count = 80;
+  double clock_hz = 1.53e9;
+  double hbm_bandwidth = 900.0 * kGBps;
+  /// Fraction of peak HBM bandwidth streaming kernels actually sustain.
+  double hbm_efficiency = 0.80;
+  /// Fraction of peak HBM bandwidth a radix-partition pass sustains:
+  /// scattered writes + shared-memory staging run far below streaming
+  /// rate. Calibrated so a single V100 joins ~3.8 B tuples/s, in line
+  /// with the paper's single-GPU numbers (Fig 11).
+  double partition_efficiency = 0.18;
+  /// Same for the shared-memory probe (reads stream, output scatters).
+  double probe_efficiency = 0.45;
+  /// Fraction of peak HBM bandwidth random 4-16 B gathers sustain
+  /// (late-materialization payload fetches in the query layer).
+  double gather_efficiency = 0.06;
+  std::uint64_t global_memory = 32 * kGiB;
+  /// Shared memory per SM available to a kernel.
+  std::uint64_t shared_mem_per_sm = 64 * kKiB;
+  /// Portion of shared memory the histogram kernel may occupy; the rest
+  /// is needed for staging buffers. With 32 KiB, 4-byte entries and two
+  /// resident blocks Eq. 1 yields the paper's 4,096 partitions.
+  std::uint64_t shared_mem_for_histogram = 32 * kKiB;
+  /// Thread blocks that must be resident per SM for full occupancy.
+  int thread_blocks_per_sm = 2;
+  /// Bytes of one histogram entry.
+  std::uint32_t histogram_entry_bytes = 4;
+
+  static GpuSpec V100() { return GpuSpec{}; }
+
+  /// Effective streaming bandwidth (bytes/s).
+  double EffectiveHbm() const { return hbm_bandwidth * hbm_efficiency; }
+
+  /// Equation 1: the maximum partition count whose histogram fits in
+  /// shared memory: Pmax = Ms / (Hs * Tb).
+  std::uint32_t MaxPartitions() const {
+    return static_cast<std::uint32_t>(
+        shared_mem_for_histogram /
+        (histogram_entry_bytes *
+         static_cast<std::uint64_t>(thread_blocks_per_sm)));
+  }
+
+  /// Tuples of `tuple_bytes` that fit in one SM's shared memory — the
+  /// local-partitioning recursion target (Sec 3.2, "Local partitioning").
+  std::uint64_t SharedMemTuples(std::uint32_t tuple_bytes) const {
+    return shared_mem_per_sm / tuple_bytes;
+  }
+};
+
+}  // namespace mgjoin::gpusim
+
+#endif  // MGJOIN_GPUSIM_GPU_H_

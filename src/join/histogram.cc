@@ -1,0 +1,31 @@
+#include "join/histogram.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace mgjoin::join {
+
+int RadixBitsFor(const gpusim::GpuSpec& spec, int domain_bits) {
+  const int pmax_bits = Log2Ceil(spec.MaxPartitions() + 1) - 1;  // floor
+  return std::max(1, std::min(pmax_bits, domain_bits));
+}
+
+HistogramSet BuildHistograms(const data::DistRelation& rel, int radix_bits) {
+  MGJ_CHECK(radix_bits >= 1 && radix_bits <= 30);
+  HistogramSet hs;
+  hs.radix_bits = radix_bits;
+  hs.counts.assign(rel.num_shards(),
+                   std::vector<std::uint32_t>(1u << radix_bits, 0));
+  ParallelFor(0, rel.shards.size(), [&](std::size_t g) {
+    auto& counts = hs.counts[g];
+    for (const data::Tuple& t : rel.shards[g]) {
+      ++counts[data::RadixPartition(t.key, rel.domain_bits, radix_bits)];
+    }
+  });
+  return hs;
+}
+
+}  // namespace mgjoin::join

@@ -1,0 +1,42 @@
+#ifndef MGJOIN_JOIN_HISTOGRAM_H_
+#define MGJOIN_JOIN_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "gpusim/gpu.h"
+
+namespace mgjoin::join {
+
+/// \brief Per-GPU, per-partition tuple counts for one relation — the
+/// histogram of the join's first phase (Sec 3.2).
+///
+/// MG-Join generates the largest partition count Eq. 1 allows: the
+/// histogram lives in GPU shared memory, so the partition count is
+/// bounded by Pmax = Ms / (Hs * Tb).
+struct HistogramSet {
+  int radix_bits = 0;
+  /// counts[dense_gpu][partition]
+  std::vector<std::vector<std::uint32_t>> counts;
+
+  std::uint32_t num_partitions() const { return 1u << radix_bits; }
+
+  /// Total tuples of partition `p` across all GPUs.
+  std::uint64_t PartitionTotal(std::uint32_t p) const {
+    std::uint64_t n = 0;
+    for (const auto& c : counts) n += c[p];
+    return n;
+  }
+};
+
+/// Radix bits MG-Join uses: the largest count allowed by Eq. 1, capped
+/// by the key-domain width.
+int RadixBitsFor(const gpusim::GpuSpec& spec, int domain_bits);
+
+/// Builds the per-GPU histogram of `rel` with 2^radix_bits partitions.
+HistogramSet BuildHistograms(const data::DistRelation& rel, int radix_bits);
+
+}  // namespace mgjoin::join
+
+#endif  // MGJOIN_JOIN_HISTOGRAM_H_

@@ -1,0 +1,140 @@
+#include "join/local_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mgjoin::join {
+
+namespace {
+
+// Nested-loop join of one shared-memory-sized co-partition (the paper's
+// probe variant).
+void NestedLoopCoPartition(const std::vector<data::Tuple>& r,
+                           const std::vector<data::Tuple>& s,
+                           bool materialize, LocalJoinStats* stats) {
+  for (const data::Tuple& a : r) {
+    for (const data::Tuple& b : s) {
+      if (a.key != b.key) continue;
+      ++stats->matches;
+      AccumulateMatch(a.id, b.id, &stats->checksum);
+      if (materialize) stats->pairs.emplace_back(a.id, b.id);
+    }
+  }
+}
+
+// Joins one co-partition where at least one side is small: build a tiny
+// chained hash table on the smaller side, probe with the other.
+void JoinCoPartition(const std::vector<data::Tuple>& r,
+                     const std::vector<data::Tuple>& s,
+                     bool materialize, LocalJoinStats* stats) {
+  if (r.empty() || s.empty()) return;
+  const bool build_r = r.size() <= s.size();
+  const auto& build = build_r ? r : s;
+  const auto& probe = build_r ? s : r;
+
+  const std::uint32_t slots =
+      static_cast<std::uint32_t>(NextPow2(build.size() * 2));
+  const std::uint32_t mask = slots - 1;
+  std::vector<std::int32_t> heads(slots, -1);
+  std::vector<std::int32_t> next(build.size(), -1);
+  for (std::size_t i = 0; i < build.size(); ++i) {
+    const std::uint32_t h = HashKey(build[i].key) & mask;
+    next[i] = heads[h];
+    heads[h] = static_cast<std::int32_t>(i);
+  }
+  for (const data::Tuple& t : probe) {
+    const std::uint32_t h = HashKey(t.key) & mask;
+    for (std::int32_t i = heads[h]; i >= 0; i = next[i]) {
+      if (build[static_cast<std::size_t>(i)].key == t.key) {
+        ++stats->matches;
+        const data::Tuple& b = build[static_cast<std::size_t>(i)];
+        if (build_r) {
+          AccumulateMatch(b.id, t.id, &stats->checksum);
+          if (materialize) stats->pairs.emplace_back(b.id, t.id);
+        } else {
+          AccumulateMatch(t.id, b.id, &stats->checksum);
+          if (materialize) stats->pairs.emplace_back(t.id, b.id);
+        }
+      }
+    }
+  }
+}
+
+// Recursively splits a co-partition on hash bits until one side fits
+// shared memory, then probes.
+void Recurse(std::vector<data::Tuple>&& r, std::vector<data::Tuple>&& s,
+             int depth, const LocalJoinOptions& opts,
+             LocalJoinStats* stats) {
+  if (r.empty() || s.empty()) return;
+  stats->max_depth = std::max(stats->max_depth, depth);
+  const std::uint64_t small_side = std::min(r.size(), s.size());
+  if (small_side <= opts.shared_mem_tuples || depth >= opts.max_depth) {
+    if (opts.probe == ProbeAlgorithm::kNestedLoop) {
+      NestedLoopCoPartition(r, s, opts.materialize_pairs, stats);
+    } else {
+      JoinCoPartition(r, s, opts.materialize_pairs, stats);
+    }
+    return;
+  }
+  const int fanout_bits = opts.bits_per_pass;
+  const std::uint32_t fanout = 1u << fanout_bits;
+  const int shift = depth * fanout_bits;
+  auto bucket_of = [&](std::uint32_t key) {
+    return (HashKey(key) >> shift) & (fanout - 1);
+  };
+  std::vector<std::vector<data::Tuple>> rb(fanout), sb(fanout);
+  for (const data::Tuple& t : r) rb[bucket_of(t.key)].push_back(t);
+  for (const data::Tuple& t : s) sb[bucket_of(t.key)].push_back(t);
+  stats->partition_tuple_passes += r.size() + s.size();
+  r.clear();
+  r.shrink_to_fit();
+  s.clear();
+  s.shrink_to_fit();
+  for (std::uint32_t b = 0; b < fanout; ++b) {
+    Recurse(std::move(rb[b]), std::move(sb[b]), depth + 1, opts, stats);
+  }
+}
+
+}  // namespace
+
+LocalJoinStats LocalPartitionAndProbe(
+    std::vector<std::vector<data::Tuple>>* r_parts,
+    std::vector<std::vector<data::Tuple>>* s_parts,
+    const LocalJoinOptions& options) {
+  MGJ_CHECK(r_parts->size() == s_parts->size());
+  LocalJoinStats stats;
+  for (std::size_t p = 0; p < r_parts->size(); ++p) {
+    stats.r_tuples += (*r_parts)[p].size();
+    stats.s_tuples += (*s_parts)[p].size();
+    Recurse(std::move((*r_parts)[p]), std::move((*s_parts)[p]),
+            /*depth=*/0, options, &stats);
+  }
+  return stats;
+}
+
+LocalJoinStats ReferenceJoin(const data::DistRelation& r,
+                             const data::DistRelation& s) {
+  LocalJoinStats stats;
+  std::unordered_multimap<std::uint32_t, std::uint32_t> table;
+  for (const data::Shard& shard : r.shards) {
+    stats.r_tuples += shard.size();
+    for (const data::Tuple& t : shard) table.emplace(t.key, t.id);
+  }
+  for (const data::Shard& shard : s.shards) {
+    stats.s_tuples += shard.size();
+    for (const data::Tuple& t : shard) {
+      auto [lo, hi] = table.equal_range(t.key);
+      for (auto it = lo; it != hi; ++it) {
+        ++stats.matches;
+        AccumulateMatch(it->second, t.id, &stats.checksum);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace mgjoin::join

@@ -1,0 +1,178 @@
+#include "join/partition_assignment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "data/relation.h"
+
+namespace mgjoin::join {
+
+std::vector<std::vector<double>> PairwiseCosts(
+    const topo::Topology& topo, const std::vector<int>& gpus,
+    std::uint64_t packet_bytes) {
+  const std::size_t n = gpus.size();
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  std::vector<bool> participant(topo.num_gpus(), false);
+  for (int g : gpus) participant[g] = true;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      // Cheapest uncongested route (seconds per byte), restricted to
+      // participating intermediates. A byte moved over k hops consumes
+      // fabric time on every hop, so hop costs add up — this is what
+      // keeps the assignment from treating long NVLink detours as free.
+      double best = std::numeric_limits<double>::infinity();
+      for (const topo::Route& r :
+           topo.EnumerateRoutes(gpus[a], gpus[b])) {
+        bool ok = true;
+        for (int g : r.gpus) ok = ok && participant[g];
+        if (!ok) continue;
+        double c = 0.0;
+        for (std::size_t i = 0; i + 1 < r.gpus.size(); ++i) {
+          c += 1.0 / topo.ChannelEffectiveBandwidth(
+                         topo.channel(r.gpus[i], r.gpus[i + 1]),
+                         packet_bytes);
+        }
+        best = std::min(best, c);
+      }
+      cost[a][b] = best;
+    }
+  }
+  return cost;
+}
+
+PartitionAssignment ComputeAssignment(const topo::Topology& topo,
+                                      const std::vector<int>& gpus,
+                                      const HistogramSet& hist_r,
+                                      const HistogramSet& hist_s,
+                                      const AssignmentOptions& options) {
+  const int g = static_cast<int>(gpus.size());
+  const std::uint32_t parts = hist_r.num_partitions();
+  MGJ_CHECK(hist_s.num_partitions() == parts);
+  MGJ_CHECK(static_cast<int>(hist_r.counts.size()) == g);
+
+  PartitionAssignment pa;
+  pa.owners.resize(parts);
+  pa.split_broadcast_r.assign(parts, false);
+
+  if (options.strategy == AssignmentStrategy::kRoundRobin || g == 1) {
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      pa.owners[p] = {static_cast<int>(p % g)};
+    }
+    return pa;
+  }
+
+  const auto cost = PairwiseCosts(topo, gpus, options.packet_bytes);
+
+  std::uint64_t total_tuples = 0;
+  for (int d = 0; d < g; ++d) {
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      total_tuples += hist_r.counts[d][p] + hist_s.counts[d][p];
+    }
+  }
+  const double avg_partition =
+      static_cast<double>(total_tuples) / static_cast<double>(parts);
+  const double heavy_threshold = avg_partition * options.heavy_hitter_factor;
+
+  // In MG-Join the assignment of all partitions is computed in parallel
+  // (one warp per partition). A running per-GPU load adds a congestion
+  // penalty to each candidate owner's transfer cost: an overloaded GPU
+  // is also the one whose inbound links and compute are busiest. Without
+  // this term, uniform data — where every partition looks identical —
+  // would pile every partition onto the best-connected GPU (the
+  // workload balancing of Sec 3.2).
+  std::vector<std::uint64_t> load(g, 0);
+  double mean_cost = 0.0;
+  for (int a = 0; a < g; ++a) {
+    for (int b = 0; b < g; ++b) mean_cost += cost[a][b];
+  }
+  mean_cost /= static_cast<double>(g) * (g - 1);
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    std::uint64_t r_total = 0, s_total = 0;
+    for (int d = 0; d < g; ++d) {
+      r_total += hist_r.counts[d][p];
+      s_total += hist_s.counts[d][p];
+    }
+    if (r_total + s_total == 0) {
+      // Histogram doubles as a bloom filter: nothing to place, nothing
+      // to transfer (Rationale 3).
+      pa.owners[p] = {static_cast<int>(p % g)};
+      continue;
+    }
+
+    // Option A: migrate everything to the single best owner.
+    std::vector<double> owner_cost(g, 0.0);
+    double best_single = std::numeric_limits<double>::infinity();
+    for (int o = 0; o < g; ++o) {
+      double c = 0.0;
+      for (int d = 0; d < g; ++d) {
+        if (d == o) continue;
+        c += static_cast<double>(hist_r.counts[d][p] +
+                                 hist_s.counts[d][p]) *
+             data::kTupleBytes * cost[d][o];
+      }
+      owner_cost[o] = c;
+      best_single = std::min(best_single, c);
+    }
+    int best_owner = 0;
+    double best_effective = std::numeric_limits<double>::infinity();
+    for (int o = 0; o < g; ++o) {
+      const double effective =
+          owner_cost[o] + static_cast<double>(load[o]) *
+                              data::kTupleBytes * mean_cost;
+      if (effective < best_effective) {
+        best_effective = effective;
+        best_owner = o;
+      }
+    }
+
+    const bool heavy =
+        static_cast<double>(r_total + s_total) > heavy_threshold;
+    if (!heavy) {
+      pa.owners[p] = {best_owner};
+      load[best_owner] += r_total + s_total;
+      continue;
+    }
+
+    // Option B (heavy hitters): keep the larger relation in place — its
+    // holders become the owner set — and broadcast the smaller relation
+    // to every owner.
+    const bool broadcast_r = r_total < s_total;
+    const auto& big = broadcast_r ? hist_s.counts : hist_r.counts;
+    const auto& small = broadcast_r ? hist_r.counts : hist_s.counts;
+    std::vector<int> owners;
+    for (int d = 0; d < g; ++d) {
+      if (big[d][p] > 0) owners.push_back(d);
+    }
+    if (owners.size() <= 1) {
+      pa.owners[p] = {best_owner};
+      load[best_owner] += r_total + s_total;
+      continue;
+    }
+    double split_cost = 0.0;
+    for (int d = 0; d < g; ++d) {
+      if (small[d][p] == 0) continue;
+      for (int o : owners) {
+        if (o == d) continue;
+        split_cost += static_cast<double>(small[d][p]) *
+                      data::kTupleBytes * cost[d][o];
+      }
+    }
+    if (split_cost < best_single) {
+      const std::uint64_t small_total = broadcast_r ? r_total : s_total;
+      for (int o : owners) {
+        load[o] += big[o][p] + small_total;
+      }
+      pa.owners[p] = std::move(owners);
+      pa.split_broadcast_r[p] = broadcast_r;
+      ++pa.split_partitions;
+    } else {
+      pa.owners[p] = {best_owner};
+      load[best_owner] += r_total + s_total;
+    }
+  }
+  return pa;
+}
+
+}  // namespace mgjoin::join

@@ -1,0 +1,71 @@
+#ifndef MGJOIN_JOIN_PARTITION_ASSIGNMENT_H_
+#define MGJOIN_JOIN_PARTITION_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/histogram.h"
+#include "topo/topology.h"
+
+namespace mgjoin::join {
+
+/// How partitions are assigned to GPUs in Step 2 of the global
+/// partitioning phase.
+enum class AssignmentStrategy {
+  /// Partition p -> participating GPU p mod g (what DPRJ does).
+  kRoundRobin,
+  /// The paper's adaptation of Polychroniou et al.'s migration +
+  /// selective broadcast, with transfer costs taken from the cheapest
+  /// uncongested route between each GPU pair.
+  kNetworkOptimal,
+};
+
+/// \brief Placement decision for every radix partition.
+///
+/// Each partition has an owner set. Single-owner partitions migrate all
+/// tuples of both relations to the owner. Split partitions (heavy
+/// hitters) keep the larger relation's tuples where they are — each
+/// holder becomes an owner — and selectively broadcast the smaller
+/// relation's tuples to every owner, so every matching pair still meets
+/// exactly once.
+struct PartitionAssignment {
+  /// owners[p] = dense GPU indices owning partition p (sorted).
+  std::vector<std::vector<int>> owners;
+  /// split_broadcast_r[p]: true if partition p is split and R is the
+  /// broadcast (smaller) side; only meaningful when owners[p].size() > 1.
+  std::vector<bool> split_broadcast_r;
+  /// Partitions handled via the split path (heavy hitters).
+  std::uint32_t split_partitions = 0;
+
+  bool IsSplit(std::uint32_t p) const { return owners[p].size() > 1; }
+};
+
+/// Per-byte transfer cost between each ordered pair of participating
+/// GPUs: seconds/byte over the cheapest (uncongested) route, the paper's
+/// "lowest transmission cost path" (Sec 3.2, modification 3).
+std::vector<std::vector<double>> PairwiseCosts(
+    const topo::Topology& topo, const std::vector<int>& gpus,
+    std::uint64_t packet_bytes);
+
+/// Options for ComputeAssignment.
+struct AssignmentOptions {
+  AssignmentStrategy strategy = AssignmentStrategy::kNetworkOptimal;
+  /// A partition is a heavy-hitter candidate when its total tuple count
+  /// exceeds this multiple of the average partition size.
+  double heavy_hitter_factor = 4.0;
+  /// Bytes used for the cost model's bandwidth lookup.
+  std::uint64_t packet_bytes = 2 * kMiB;
+};
+
+/// Computes the partition assignment from the R and S histograms.
+/// `gpus` are the participating GPU indices (dense order matches the
+/// histogram rows).
+PartitionAssignment ComputeAssignment(const topo::Topology& topo,
+                                      const std::vector<int>& gpus,
+                                      const HistogramSet& hist_r,
+                                      const HistogramSet& hist_s,
+                                      const AssignmentOptions& options);
+
+}  // namespace mgjoin::join
+
+#endif  // MGJOIN_JOIN_PARTITION_ASSIGNMENT_H_

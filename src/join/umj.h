@@ -1,0 +1,47 @@
+#ifndef MGJOIN_JOIN_UMJ_H_
+#define MGJOIN_JOIN_UMJ_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+#include "gpusim/gpu.h"
+#include "gpusim/kernel_model.h"
+#include "join/join_types.h"
+#include "topo/topology.h"
+
+namespace mgjoin::join {
+
+/// Options of the unified-memory join baseline.
+struct UmjOptions {
+  gpusim::GpuSpec gpu = gpusim::GpuSpec::V100();
+  gpusim::UnifiedMemoryModel::Params um;
+  double virtual_scale = 1.0;
+};
+
+/// \brief UMJ baseline (Paul et al. [31]): a global hash join over
+/// NVIDIA unified memory.
+///
+/// Every GPU builds its slice of a machine-wide hash table and probes
+/// its local S against the whole table; remote pages migrate on demand.
+/// The cost model charges first-touch mapping for local pages and
+/// fault-service time for remote pages, with page-table lock contention
+/// growing with the number of GPUs — reproducing the paper's finding
+/// that UMJ on 5-8 GPUs is slower than on one GPU (Sec 5.3).
+class UmJoin {
+ public:
+  UmJoin(const topo::Topology* topo, std::vector<int> gpus,
+         UmjOptions options);
+
+  Result<JoinResult> Execute(const data::DistRelation& r,
+                             const data::DistRelation& s) const;
+
+ private:
+  const topo::Topology* topo_;
+  std::vector<int> gpus_;
+  UmjOptions options_;
+};
+
+}  // namespace mgjoin::join
+
+#endif  // MGJOIN_JOIN_UMJ_H_

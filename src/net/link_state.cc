@@ -1,0 +1,120 @@
+#include "net/link_state.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+
+namespace mgjoin::net {
+
+LinkStateTable::LinkStateTable(sim::Simulator* sim,
+                               const topo::Topology* topo)
+    : sim_(sim), topo_(topo) {
+  dirs_.resize(static_cast<std::size_t>(topo->num_links()) * 2);
+}
+
+sim::SimTime LinkStateTable::Now() const { return sim_->Now(); }
+
+LinkStateTable::Reservation LinkStateTable::ReserveChannel(
+    const topo::Channel& ch, std::uint64_t bytes) {
+  const sim::SimTime now = sim_->Now();
+
+  // Staged transfers are tiled and pipelined by the driver (Sec 2.2):
+  // each physical link of the channel streams the packet independently
+  // out of host staging buffers, so a backlog on one leg (e.g. QPI)
+  // neither holds the other legs hostage nor leaves them idle. The
+  // source engine is released when the first leg has drained the source
+  // memory; the packet is delivered when the slowest leg finishes.
+  sim::SimTime first_leg_end = 0;
+  sim::SimTime last_end = 0;
+  sim::SimTime start = now;
+  for (std::size_t i = 0; i < ch.path.size(); ++i) {
+    const topo::LinkDir& ld = ch.path[i];
+    double bw = links_eff_bw_(ld, bytes);
+    if (ch.staged) bw *= topo::kStagingEfficiency;
+    const sim::SimTime d = sim::TransferTime(bytes, bw);
+    DirState& st = dirs_[Index(ld)];
+    const sim::SimTime leg_start = std::max(now, st.next_free);
+    const sim::SimTime leg_end = leg_start + d;
+    st.next_free = leg_end;
+    st.busy += d;
+    st.bytes += bytes;
+    MaybePublish(ld);
+    if (i == 0) {
+      start = leg_start;
+      first_leg_end = leg_end;
+    }
+    last_end = std::max(last_end, leg_end);
+  }
+  return Reservation{start, first_leg_end,
+                     last_end + topo_->ChannelLatency(ch)};
+}
+
+double LinkStateTable::links_eff_bw_(topo::LinkDir ld,
+                                     std::uint64_t bytes) const {
+  return topo_->link(ld.link_id).effective_bandwidth(bytes);
+}
+
+sim::SimTime LinkStateTable::TrueQueueDelay(topo::LinkDir ld) const {
+  const DirState& st = dirs_[Index(ld)];
+  const sim::SimTime now = sim_->Now();
+  return st.next_free > now ? st.next_free - now : 0;
+}
+
+sim::SimTime LinkStateTable::PublishedQueueDelay(topo::LinkDir ld) const {
+  return dirs_[Index(ld)].published_delay;
+}
+
+sim::SimTime LinkStateTable::BusyTime(topo::LinkDir ld) const {
+  return dirs_[Index(ld)].busy;
+}
+
+std::uint64_t LinkStateTable::BytesMoved(topo::LinkDir ld) const {
+  return dirs_[Index(ld)].bytes;
+}
+
+std::string LinkStateTable::UtilizationReport(sim::SimTime window) const {
+  std::string out =
+      "link                     dir    bytes        busy_ms  util%\n";
+  char line[160];
+  for (const topo::Link& l : topo_->links()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const DirState& st = dirs_[Index({l.id, dir})];
+      if (st.bytes == 0) continue;
+      const double util =
+          window == 0 ? 0.0
+                      : 100.0 * static_cast<double>(st.busy) /
+                            static_cast<double>(window);
+      std::snprintf(line, sizeof(line),
+                    "%-24s %-6s %-12llu %-8.2f %-6.1f\n",
+                    l.ToString().c_str(), dir == 0 ? "a->b" : "b->a",
+                    static_cast<unsigned long long>(st.bytes),
+                    sim::ToMillis(st.busy), util);
+      out += line;
+    }
+  }
+  return out;
+}
+
+void LinkStateTable::MaybePublish(topo::LinkDir ld) {
+  DirState& st = dirs_[Index(ld)];
+  if (st.publish_pending) return;
+  const sim::SimTime true_delay = TrueQueueDelay(ld);
+  const sim::SimTime pub = st.published_delay;
+  const sim::SimTime diff = true_delay > pub ? true_delay - pub
+                                             : pub - true_delay;
+  if (diff <= std::max<sim::SimTime>(kPublishFloor, pub / 8)) return;
+  st.publish_pending = true;
+  ++broadcasts_;
+  sim_->Schedule(kPropagationDelay, [this, ld] {
+    DirState& s = dirs_[Index(ld)];
+    s.published_delay = TrueQueueDelay(ld);
+    s.publish_pending = false;
+    // A further change may have happened while this broadcast was in
+    // flight; chase it so the view converges.
+    MaybePublish(ld);
+  });
+}
+
+}  // namespace mgjoin::net

@@ -1,0 +1,93 @@
+#ifndef MGJOIN_NET_LINK_STATE_H_
+#define MGJOIN_NET_LINK_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topo/link.h"
+#include "topo/topology.h"
+
+namespace mgjoin::net {
+
+/// \brief Tracks the occupancy of every physical link direction and the
+/// congestion view that routing policies may read.
+///
+/// Two views exist per link: the *true* queuing delay (known only to the
+/// link's owner) and the *published* delay — what remote GPUs believe
+/// after the owner's last broadcast (Sec 4.2.2: queueing-delay changes
+/// are broadcast to every other GPU). Publishing is debounced and takes a
+/// propagation delay, so the adaptive policy works with slightly stale
+/// data, exactly as on the real machine.
+class LinkStateTable {
+ public:
+  /// Outcome of reserving a channel for one packet transfer.
+  struct Reservation {
+    sim::SimTime start;    ///< when the wire starts moving this packet
+    sim::SimTime end;      ///< when the source-side engine is released
+    sim::SimTime deliver;  ///< when the payload lands at the receiver
+  };
+
+  LinkStateTable(sim::Simulator* sim, const topo::Topology* topo);
+
+  /// \brief Reserves every physical link of `ch` for one transfer of
+  /// `bytes`, no earlier than the simulator's current time.
+  ///
+  /// All links of the channel are held for the same interval — staged
+  /// transfers are tiled and pipelined by the driver (Sec 2.2), so the
+  /// channel behaves as one pipe at the bottleneck link's effective
+  /// bandwidth. Delivery adds the channel's static latency.
+  Reservation ReserveChannel(const topo::Channel& ch, std::uint64_t bytes);
+
+  /// True (owner-side) queuing delay of a link direction right now.
+  sim::SimTime TrueQueueDelay(topo::LinkDir ld) const;
+
+  /// Queuing delay as last broadcast to remote GPUs.
+  sim::SimTime PublishedQueueDelay(topo::LinkDir ld) const;
+
+  /// Cumulative busy time of a link direction (for utilization stats).
+  sim::SimTime BusyTime(topo::LinkDir ld) const;
+
+  /// Cumulative payload bytes moved over a link direction.
+  std::uint64_t BytesMoved(topo::LinkDir ld) const;
+
+  /// Number of queue-delay broadcasts issued so far.
+  std::uint64_t broadcasts() const { return broadcasts_; }
+
+  /// Per-link utilization table ("link, dir, bytes, busy_ms, util%"),
+  /// with utilization relative to `window` (e.g. a run's makespan).
+  std::string UtilizationReport(sim::SimTime window) const;
+
+  const topo::Topology& topo() const { return *topo_; }
+  sim::SimTime Now() const;
+
+ private:
+  struct DirState {
+    sim::SimTime next_free = 0;
+    sim::SimTime published_delay = 0;
+    sim::SimTime busy = 0;
+    std::uint64_t bytes = 0;
+    bool publish_pending = false;
+  };
+
+  std::size_t Index(topo::LinkDir ld) const {
+    return static_cast<std::size_t>(ld.link_id) * 2 + ld.dir;
+  }
+  void MaybePublish(topo::LinkDir ld);
+  double links_eff_bw_(topo::LinkDir ld, std::uint64_t bytes) const;
+
+  sim::Simulator* sim_;
+  const topo::Topology* topo_;
+  std::vector<DirState> dirs_;
+  std::uint64_t broadcasts_ = 0;
+
+  // Broadcasts propagate after this delay and are debounced to changes
+  // larger than 25% (and 2 us) of the previous published value.
+  static constexpr sim::SimTime kPropagationDelay = 3 * sim::kMicrosecond;
+  static constexpr sim::SimTime kPublishFloor = 1 * sim::kMicrosecond;
+};
+
+}  // namespace mgjoin::net
+
+#endif  // MGJOIN_NET_LINK_STATE_H_

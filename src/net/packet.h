@@ -1,0 +1,54 @@
+#ifndef MGJOIN_NET_PACKET_H_
+#define MGJOIN_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace mgjoin::net {
+
+/// Size of the per-packet header MG-Join prepends (Sec 4.1): 4-byte
+/// packet id + 4-byte size + up to 5 one-byte GPU ids for the route.
+inline constexpr std::uint32_t kPacketHeaderBytes = 13;
+
+/// \brief A cross-GPU data flow: `bytes` to move from `src_gpu` to
+/// `dst_gpu`, becoming available for transmission at `available_at` (or
+/// progressively, at `generation_rate` bytes/s, to model overlap with the
+/// partitioning kernel that produces the data).
+struct Flow {
+  std::uint64_t id = 0;
+  int src_gpu = -1;
+  int dst_gpu = -1;
+  std::uint64_t bytes = 0;
+  sim::SimTime available_at = 0;
+  double generation_rate = 0.0;  ///< 0 = all bytes ready at available_at
+};
+
+/// \brief One packet in flight.
+///
+/// `route` is fixed at the source for the packet's whole journey (Sec
+/// 4.2.2: "the route ... is determined at the source node ... and will
+/// not be changed at intermediate nodes"); `hop` is the index of the next
+/// channel to traverse: route.gpus[hop] -> route.gpus[hop+1].
+struct Packet {
+  std::uint64_t id = 0;
+  std::uint64_t flow_id = 0;
+  std::uint32_t payload_bytes = 0;
+  topo::Route route;
+  int hop = 0;
+
+  int final_dst() const { return route.gpus.back(); }
+  int next_gpu() const { return route.gpus[hop + 1]; }
+  int cur_gpu() const { return route.gpus[hop]; }
+  bool last_hop() const {
+    return hop + 2 == static_cast<int>(route.gpus.size());
+  }
+  std::uint32_t wire_bytes() const {
+    return payload_bytes + kPacketHeaderBytes;
+  }
+};
+
+}  // namespace mgjoin::net
+
+#endif  // MGJOIN_NET_PACKET_H_

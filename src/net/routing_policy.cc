@@ -1,0 +1,265 @@
+#include "net/routing_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mgjoin::net {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDirect:
+      return "Direct";
+    case PolicyKind::kBandwidth:
+      return "Bandwidth";
+    case PolicyKind::kHopCount:
+      return "HopCount";
+    case PolicyKind::kLatency:
+      return "Latency";
+    case PolicyKind::kAdaptive:
+      return "MG-Join";
+    case PolicyKind::kCentralized:
+      return "MGJ-Baseline";
+  }
+  return "?";
+}
+
+sim::SimTime ArmValue(const topo::Route& route, std::uint64_t packet_bytes,
+                      int num_packets, const LinkStateTable& state,
+                      bool published) {
+  const topo::Topology& topo = state.topo();
+  // Transmission cost T_R (Eq 3). Packets are stored-and-forwarded at
+  // intermediate GPUs (a receiver only re-sends a packet it holds in its
+  // routing buffer), so each hop re-transmits the packet: the cost — and
+  // the fabric capacity consumed — is the *sum* of the per-hop transfer
+  // times, not the bottleneck alone. This is what keeps ARM on direct
+  // NVLink routes for small well-connected GPU sets (paper Sec 5.2:
+  // "all metrics end up choosing the same route") while still detouring
+  // once the direct links congest.
+  const std::uint64_t total =
+      packet_bytes * static_cast<std::uint64_t>(num_packets);
+  sim::SimTime tr = 0;
+  for (std::size_t i = 0; i + 1 < route.gpus.size(); ++i) {
+    const double bw = topo.ChannelEffectiveBandwidth(
+        topo.channel(route.gpus[i], route.gpus[i + 1]), packet_bytes);
+    tr += sim::TransferTime(total, bw);
+  }
+
+  // Dynamic delay D_R (Eq 4): queuing delay + latency of every physical
+  // link constituting the route.
+  sim::SimTime dr = 0;
+  for (std::size_t i = 0; i + 1 < route.gpus.size(); ++i) {
+    const topo::Channel& ch = topo.channel(route.gpus[i], route.gpus[i + 1]);
+    for (const topo::LinkDir& ld : ch.path) {
+      dr += published ? state.PublishedQueueDelay(ld)
+                      : state.TrueQueueDelay(ld);
+      dr += topo.link(ld.link_id).latency();
+    }
+    dr += static_cast<sim::SimTime>(ch.cpu_hops) * topo::kStagingLatency;
+  }
+  return tr + dr;
+}
+
+namespace {
+
+class DirectPolicy : public RoutingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kDirect; }
+  topo::Route ChooseRoute(int src, int dst, std::uint64_t, int,
+                          const LinkStateTable&) override {
+    return topo::Route{{src, dst}};
+  }
+};
+
+class BandwidthPolicy : public RoutingPolicy {
+ public:
+  explicit BandwidthPolicy(int max_intermediates)
+      : max_intermediates_(max_intermediates) {}
+  PolicyKind kind() const override { return PolicyKind::kBandwidth; }
+
+  topo::Route ChooseRoute(int src, int dst, std::uint64_t packet_bytes, int,
+                          const LinkStateTable& state) override {
+    const auto& routes =
+        state.topo().EnumerateRoutes(src, dst, max_intermediates_);
+    const topo::Route* best = nullptr;
+    double best_bw = -1;
+    for (const topo::Route& r : routes) {
+      if (!Allowed(r)) continue;
+      // "The route with the highest bandwidth" (ties -> fewer hops).
+      // Deliberately ignores the capacity consumed by extra hops — that
+      // blindness is exactly why the paper measures this policy
+      // collapsing on larger GPU counts (Sec 4.2.1).
+      const double bw =
+          state.topo().RouteBottleneckBandwidth(r, packet_bytes);
+      if (bw > best_bw * (1 + 1e-9) ||
+          (bw > best_bw * (1 - 1e-9) && best != nullptr &&
+           r.hops() < best->hops())) {
+        best_bw = bw;
+        best = &r;
+      }
+    }
+    MGJ_CHECK(best != nullptr);
+    return *best;
+  }
+
+ private:
+  int max_intermediates_;
+};
+
+class HopCountPolicy : public RoutingPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kHopCount; }
+  topo::Route ChooseRoute(int src, int dst, std::uint64_t packet_bytes, int,
+                          const LinkStateTable& state) override {
+    // The direct channel always exists, so the minimum hop count is one;
+    // among 1-hop options it is the only one. This is what makes the
+    // policy fall onto slow staged PCIe routes for non-NVLink pairs.
+    (void)packet_bytes;
+    (void)state;
+    return topo::Route{{src, dst}};
+  }
+};
+
+class LatencyPolicy : public RoutingPolicy {
+ public:
+  explicit LatencyPolicy(int max_intermediates)
+      : max_intermediates_(max_intermediates) {}
+  PolicyKind kind() const override { return PolicyKind::kLatency; }
+
+  topo::Route ChooseRoute(int src, int dst, std::uint64_t packet_bytes, int,
+                          const LinkStateTable& state) override {
+    const auto& routes =
+        state.topo().EnumerateRoutes(src, dst, max_intermediates_);
+    const topo::Route* best = nullptr;
+    sim::SimTime best_lat = std::numeric_limits<sim::SimTime>::max();
+    double best_bw = -1;
+    for (const topo::Route& r : routes) {
+      if (!Allowed(r)) continue;
+      const sim::SimTime lat = state.topo().RouteLatency(r);
+      const double bw =
+          state.topo().RouteBottleneckBandwidth(r, packet_bytes);
+      if (lat < best_lat || (lat == best_lat && bw > best_bw)) {
+        best_lat = lat;
+        best_bw = bw;
+        best = &r;
+      }
+    }
+    MGJ_CHECK(best != nullptr);
+    return *best;
+  }
+
+ private:
+  int max_intermediates_;
+};
+
+class AdaptivePolicy : public RoutingPolicy {
+ public:
+  explicit AdaptivePolicy(int max_intermediates)
+      : max_intermediates_(max_intermediates) {}
+  PolicyKind kind() const override { return PolicyKind::kAdaptive; }
+
+  topo::Route ChooseRoute(int src, int dst, std::uint64_t packet_bytes,
+                          int num_packets,
+                          const LinkStateTable& state) override {
+    const auto& routes =
+        state.topo().EnumerateRoutes(src, dst, max_intermediates_);
+    const topo::Route* best = nullptr;
+    sim::SimTime best_arm = std::numeric_limits<sim::SimTime>::max();
+    sim::SimTime direct_arm = std::numeric_limits<sim::SimTime>::max();
+    const topo::Route* direct = nullptr;
+    for (const topo::Route& r : routes) {
+      if (!Allowed(r)) continue;
+      const sim::SimTime arm =
+          ArmValue(r, packet_bytes, num_packets, state, /*published=*/true);
+      if (r.hops() == 1) {
+        direct = &r;
+        direct_arm = arm;
+      }
+      if (arm < best_arm) {
+        best_arm = arm;
+        best = &r;
+      }
+    }
+    MGJ_CHECK(best != nullptr);
+    // Hysteresis: leave the direct route only for a clear gain. Every
+    // detour consumes capacity on two-plus links, and the published
+    // queue delays are slightly stale, so chasing marginal gains makes
+    // senders oscillate and clogs an otherwise balanced fabric.
+    if (direct != nullptr && best != direct &&
+        best_arm + best_arm / 6 >= direct_arm) {
+      return *direct;
+    }
+    return *best;
+  }
+
+ private:
+  int max_intermediates_;
+};
+
+class CentralizedPolicy : public RoutingPolicy {
+ public:
+  explicit CentralizedPolicy(int max_intermediates)
+      : max_intermediates_(max_intermediates) {}
+  PolicyKind kind() const override { return PolicyKind::kCentralized; }
+
+  topo::Route ChooseRoute(int src, int dst, std::uint64_t packet_bytes,
+                          int num_packets,
+                          const LinkStateTable& state) override {
+    // The central scheduler sees the oracle link state (that is the whole
+    // point of synchronizing every GPU per batch), so its data-transfer
+    // decisions are slightly better than ARM's stale-view decisions.
+    const auto& routes =
+        state.topo().EnumerateRoutes(src, dst, max_intermediates_);
+    const topo::Route* best = nullptr;
+    sim::SimTime best_arm = std::numeric_limits<sim::SimTime>::max();
+    for (const topo::Route& r : routes) {
+      if (!Allowed(r)) continue;
+      const sim::SimTime arm =
+          ArmValue(r, packet_bytes, num_packets, state, /*published=*/false);
+      if (arm < best_arm) {
+        best_arm = arm;
+        best = &r;
+      }
+    }
+    MGJ_CHECK(best != nullptr);
+    return *best;
+  }
+
+  sim::SimTime ControlOverheadPerBatch(int num_gpus) const override {
+    // Global barrier + broadcast of the schedule: every GPU stops, the
+    // coordinator gathers queue states and redistributes decisions. Cost
+    // grows with participant count (host-flag barrier + decision
+    // broadcast); calibrated so the baseline lands ~1.5x behind MG-Join
+    // at 8 GPUs (paper Fig 10).
+    return (2 * sim::kMicrosecond) +
+           (1200 * sim::kNanosecond) * static_cast<sim::SimTime>(num_gpus);
+  }
+  bool SerializesGlobally() const override { return true; }
+
+ private:
+  int max_intermediates_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> MakePolicy(PolicyKind kind,
+                                          int max_intermediates) {
+  switch (kind) {
+    case PolicyKind::kDirect:
+      return std::make_unique<DirectPolicy>();
+    case PolicyKind::kBandwidth:
+      return std::make_unique<BandwidthPolicy>(max_intermediates);
+    case PolicyKind::kHopCount:
+      return std::make_unique<HopCountPolicy>();
+    case PolicyKind::kLatency:
+      return std::make_unique<LatencyPolicy>(max_intermediates);
+    case PolicyKind::kAdaptive:
+      return std::make_unique<AdaptivePolicy>(max_intermediates);
+    case PolicyKind::kCentralized:
+      return std::make_unique<CentralizedPolicy>(max_intermediates);
+  }
+  return nullptr;
+}
+
+}  // namespace mgjoin::net

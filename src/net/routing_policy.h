@@ -1,0 +1,94 @@
+#ifndef MGJOIN_NET_ROUTING_POLICY_H_
+#define MGJOIN_NET_ROUTING_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/link_state.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace mgjoin::net {
+
+/// Which routing policy a TransferEngine uses (paper Sec 4.2).
+enum class PolicyKind {
+  kDirect,     ///< single-hop direct channel only (DPRJ-style)
+  kBandwidth,  ///< static: shortest route with highest bottleneck bandwidth
+  kHopCount,   ///< static: fewest hops (i.e. always the direct channel)
+  kLatency,    ///< static: lowest summed static latency
+  kAdaptive,   ///< MG-Join's ARM metric (Eqs 2-4)
+  kCentralized ///< MGJ-Baseline: fresh global state + per-batch global sync
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+/// \brief Chooses a route for each batch of packets.
+///
+/// Policies see the fabric through a LinkStateTable: static policies
+/// ignore it, the adaptive policy reads the *published* (broadcast,
+/// possibly stale) queue delays, and the centralized baseline reads true
+/// delays — which is exactly why it must pay a global synchronization per
+/// batch (Figure 10).
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  const char* name() const { return PolicyKindName(kind()); }
+
+  /// Picks the route for a batch of `num_packets` packets of
+  /// `packet_bytes` each from `src` to `dst`.
+  virtual topo::Route ChooseRoute(int src, int dst,
+                                  std::uint64_t packet_bytes,
+                                  int num_packets,
+                                  const LinkStateTable& state) = 0;
+
+  /// Extra control-plane cost charged at the sender per batch. The
+  /// centralized baseline returns its global-barrier cost here.
+  virtual sim::SimTime ControlOverheadPerBatch(int num_gpus) const {
+    (void)num_gpus;
+    return 0;
+  }
+
+  /// True if ControlOverheadPerBatch is a *global* critical section (all
+  /// GPUs stall), not just a local sender cost.
+  virtual bool SerializesGlobally() const { return false; }
+
+  /// Restricts multi-hop candidates to the experiment's participating
+  /// GPUs (indexed by dense GPU index). Called by the TransferEngine.
+  void SetParticipants(std::vector<bool> mask) {
+    participants_ = std::move(mask);
+  }
+
+ protected:
+  /// True if every GPU of `r` participates in the experiment.
+  bool Allowed(const topo::Route& r) const {
+    if (participants_.empty()) return true;
+    for (int g : r.gpus) {
+      if (!participants_[g]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<bool> participants_;
+};
+
+/// Factory for the built-in policies. `max_intermediates` bounds
+/// multi-hop candidates (paper: at most 3 intermediate hops).
+std::unique_ptr<RoutingPolicy> MakePolicy(PolicyKind kind,
+                                          int max_intermediates = 3);
+
+/// Computes the ARM value (Eq 2): pipelined transmission cost of the
+/// packet over the route plus the route's dynamic delay (queuing +
+/// latency per link, Eq 4). Exposed for tests and for the centralized
+/// baseline. `published` selects the stale broadcast view (true) or the
+/// oracle view (false).
+sim::SimTime ArmValue(const topo::Route& route, std::uint64_t packet_bytes,
+                      int num_packets, const LinkStateTable& state,
+                      bool published);
+
+}  // namespace mgjoin::net
+
+#endif  // MGJOIN_NET_ROUTING_POLICY_H_

@@ -1,0 +1,378 @@
+#include "net/transfer_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace mgjoin::net {
+
+TransferEngine::TransferEngine(sim::Simulator* sim,
+                               const topo::Topology* topo,
+                               std::vector<int> gpus, RoutingPolicy* policy,
+                               TransferOptions options)
+    : sim_(sim),
+      topo_(topo),
+      gpus_(std::move(gpus)),
+      policy_(policy),
+      options_(options),
+      links_(sim, topo) {
+  MGJ_CHECK(!gpus_.empty());
+  MGJ_CHECK(options_.packet_bytes > 0);
+  MGJ_CHECK(options_.batch_packets > 0);
+  dense_.assign(topo_->num_gpus(), -1);
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    MGJ_CHECK(gpus_[i] >= 0 && gpus_[i] < topo_->num_gpus());
+    MGJ_CHECK(dense_[gpus_[i]] < 0) << "duplicate GPU " << gpus_[i];
+    dense_[gpus_[i]] = static_cast<int>(i);
+  }
+  std::vector<bool> mask(topo_->num_gpus(), false);
+  for (int g : gpus_) mask[g] = true;
+  policy_->SetParticipants(std::move(mask));
+  gpu_states_.resize(gpus_.size());
+  rings_.resize(gpus_.size() * gpus_.size());
+  // At least two slots: one general plus the reserved last-hop slot.
+  const int slots = static_cast<int>(
+      std::max<std::uint64_t>(2, options_.ring_buffer_bytes /
+                                     options_.packet_bytes));
+  for (RingLink& r : rings_) r.slots = slots;
+}
+
+void TransferEngine::AddFlow(const Flow& flow) {
+  MGJ_CHECK(!started_) << "AddFlow after Start";
+  MGJ_CHECK(flow.src_gpu != flow.dst_gpu);
+  MGJ_CHECK(dense_[flow.src_gpu] >= 0 && dense_[flow.dst_gpu] >= 0)
+      << "flow endpoints must participate";
+  if (flow.bytes == 0) return;
+  flows_.push_back(flow);
+  pending_payload_ += flow.bytes;
+}
+
+void TransferEngine::Start() {
+  MGJ_CHECK(!started_);
+  started_ = true;
+  stats_.first_available =
+      flows_.empty() ? sim_->Now()
+                     : std::numeric_limits<sim::SimTime>::max();
+  for (const Flow& f : flows_) {
+    stats_.first_available = std::min(stats_.first_available, f.available_at);
+    const std::uint64_t num_packets =
+        CeilDiv(f.bytes, options_.packet_bytes);
+    if (f.generation_rate <= 0.0) {
+      sim_->ScheduleAt(f.available_at, [this, f, num_packets] {
+        InjectPackets(f, 0, num_packets);
+      });
+      continue;
+    }
+    // Progressive generation: packets become available in batch-sized
+    // groups as the producing kernel emits them.
+    const std::uint64_t group =
+        static_cast<std::uint64_t>(options_.batch_packets);
+    for (std::uint64_t first = 0; first < num_packets; first += group) {
+      const std::uint64_t count = std::min(group, num_packets - first);
+      const double produced_bytes = static_cast<double>(
+          std::min(f.bytes, (first + count) * options_.packet_bytes));
+      const sim::SimTime when =
+          f.available_at +
+          sim::FromSeconds(produced_bytes / f.generation_rate);
+      sim_->ScheduleAt(when, [this, f, first, count] {
+        InjectPackets(f, first, count);
+      });
+    }
+  }
+}
+
+void TransferEngine::InjectPackets(const Flow& flow,
+                                   std::uint64_t first_packet,
+                                   std::uint64_t num_packets) {
+  GpuState& gs = gpu_state(flow.src_gpu);
+  auto& queue = gs.queues[QueueKey{false, flow.dst_gpu}];
+  for (std::uint64_t i = 0; i < num_packets; ++i) {
+    const std::uint64_t offset =
+        (first_packet + i) * options_.packet_bytes;
+    const std::uint32_t payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(options_.packet_bytes, flow.bytes - offset));
+    Packet p;
+    p.id = next_packet_id_++;
+    p.flow_id = flow.id;
+    p.payload_bytes = payload;
+    p.hop = 0;
+    // Route assigned when the batch is formed.
+    queue.push_back(QueuedPacket{p, -1});
+  }
+  TryStartSends(flow.src_gpu);
+}
+
+void TransferEngine::TryStartSends(int gpu) {
+  GpuState& gs = gpu_state(gpu);
+  while (gs.busy_engines < options_.dma_engines) {
+    // Deterministic longest-queue-first service order (the weighted
+    // round-robin of Sec 4.1 weights queues by their backlog share; the
+    // longest queue is the one WRR would serve most).
+    std::vector<const QueueKey*> order;
+    for (const auto& [key, q] : gs.queues) {
+      if (!q.empty()) order.push_back(&key);
+    }
+    if (order.empty()) return;
+    std::sort(order.begin(), order.end(),
+              [&](const QueueKey* a, const QueueKey* b) {
+                const auto sa = gs.queues[*a].size();
+                const auto sb = gs.queues[*b].size();
+                if (sa != sb) return sa > sb;
+                return *a < *b;
+              });
+    bool any = false;
+    for (const QueueKey* key : order) {
+      if (TryStartBatch(gpu, *key)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+  }
+}
+
+bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
+  GpuState& gs = gpu_state(gpu);
+  auto& queue = gs.queues[key];
+  if (queue.empty()) return false;
+
+  topo::Route route;
+  if (key.transit) {
+    route = queue.front().packet.route;
+  } else {
+    route = policy_->ChooseRoute(
+        gpu, key.peer, options_.packet_bytes,
+        static_cast<int>(
+            std::min<std::size_t>(queue.size(),
+                                  static_cast<std::size_t>(
+                                      options_.batch_packets))),
+        links_);
+    MGJ_CHECK(route.gpus.front() == gpu && route.gpus.back() == key.peer)
+        << "policy returned foreign route " << route.ToString();
+    for (int g : route.gpus) {
+      MGJ_CHECK(dense_[g] >= 0)
+          << "policy routed through non-participant GPU " << g;
+    }
+  }
+
+  const int hop_index = key.transit ? queue.front().packet.hop : 0;
+  const int first_hop = route.gpus[hop_index + 1];
+  const bool last_hop =
+      hop_index + 2 == static_cast<int>(route.gpus.size());
+  RingLink& rl = ring(first_hop, gpu);
+  if (rl.FreeViewFor(last_hop) < 1) {
+    StartRingSync(first_hop, gpu);
+    return false;
+  }
+
+  // Form the batch: consecutive head packets that share the route, capped
+  // by the batch size and by the slots we can claim.
+  const int max_take = std::min<int>(
+      options_.batch_packets, rl.FreeViewFor(last_hop));
+  std::vector<QueuedPacket> batch;
+  while (!queue.empty() && static_cast<int>(batch.size()) < max_take) {
+    const QueuedPacket& head = queue.front();
+    if (key.transit &&
+        !(head.packet.route == route && head.packet.hop == hop_index)) {
+      break;
+    }
+    batch.push_back(head);
+    queue.pop_front();
+  }
+  MGJ_CHECK(!batch.empty());
+  if (!key.transit) {
+    for (QueuedPacket& qp : batch) {
+      qp.packet.route = route;
+      qp.packet.hop = 0;
+    }
+  }
+  rl.claimed += batch.size();
+  rl.failed_polls = 0;  // the ring made progress
+  SendBatch(gpu, std::move(batch), route);
+  return true;
+}
+
+void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
+                               const topo::Route& route) {
+  GpuState& gs = gpu_state(gpu);
+  ++gs.busy_engines;
+  ++stats_.batches;
+
+  sim::SimTime start_at = sim_->Now() + options_.batch_overhead;
+  if (policy_->SerializesGlobally() && !options_.zero_control_overhead) {
+    // MGJ-Baseline: every batch passes through a global barrier; the
+    // whole machine serializes on the coordinator.
+    const sim::SimTime cost = policy_->ControlOverheadPerBatch(
+        static_cast<int>(gpus_.size()));
+    global_barrier_free_ = std::max(global_barrier_free_, sim_->Now()) + cost;
+    stats_.control_overhead += cost;
+    start_at = std::max(start_at, global_barrier_free_);
+  }
+
+  const int hop_index = batch.front().packet.hop;
+  const int next = route.gpus[hop_index + 1];
+  sim_->ScheduleAt(start_at, [this, gpu, next,
+                              batch = std::move(batch)]() mutable {
+    const topo::Channel& ch = topo_->channel(gpu, next);
+    sim::SimTime engine_free = sim_->Now();
+    for (QueuedPacket& qp : batch) {
+      const LinkStateTable::Reservation res =
+          links_.ReserveChannel(ch, qp.packet.wire_bytes());
+      engine_free = res.end;
+      ++stats_.packet_hops;
+      stats_.wire_bytes += qp.packet.payload_bytes;
+      // Transit packets release their upstream ring slot once the data
+      // has left this GPU.
+      if (qp.slot_upstream >= 0) {
+        const int upstream = qp.slot_upstream;
+        sim_->ScheduleAt(res.end, [this, gpu, upstream] {
+          FreeRingSlot(gpu, upstream);
+        });
+      }
+      Packet delivered = qp.packet;
+      sim_->ScheduleAt(res.deliver, [this, delivered, gpu]() mutable {
+        HandleArrival(std::move(delivered), gpu);
+      });
+    }
+    sim_->ScheduleAt(engine_free, [this, gpu] {
+      --gpu_state(gpu).busy_engines;
+      TryStartSends(gpu);
+    });
+  });
+}
+
+void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
+  const int here = packet.route.gpus[packet.hop + 1];
+  if (here == packet.final_dst()) {
+    ++stats_.packets;
+    ++packet.hop;  // count the completed hop
+    stats_.payload_bytes += packet.payload_bytes;
+    MGJ_CHECK(pending_payload_ >= packet.payload_bytes);
+    pending_payload_ -= packet.payload_bytes;
+    stats_.last_delivery = std::max(stats_.last_delivery, sim_->Now());
+    if (deliver_cb_) deliver_cb_(packet, sim_->Now());
+    // The routing slot frees once the payload is unpacked into the local
+    // partitioning pipeline.
+    sim_->Schedule(options_.unpack_delay, [this, here, from_gpu] {
+      FreeRingSlot(here, from_gpu);
+    });
+    return;
+  }
+  // Forward: this GPU is an intermediate hop. The packet keeps occupying
+  // the routing buffer slot (tracked via slot_upstream) until it is
+  // transmitted onward.
+  ++packet.hop;
+  GpuState& gs = gpu_state(here);
+  gs.queues[QueueKey{true, packet.next_gpu()}].push_back(
+      QueuedPacket{std::move(packet), from_gpu});
+  TryStartSends(here);
+}
+
+void TransferEngine::FreeRingSlot(int receiver, int upstream) {
+  RingLink& rl = ring(receiver, upstream);
+  ++rl.freed;
+  MGJ_CHECK(rl.freed <= rl.claimed);
+}
+
+void TransferEngine::StartRingSync(int receiver, int upstream) {
+  RingLink& rl = ring(receiver, upstream);
+  if (rl.sync_pending) return;
+  rl.sync_pending = true;
+  ++stats_.ring_syncs;
+  const sim::SimTime cost =
+      2 * topo_->ChannelLatency(topo_->channel(upstream, receiver)) +
+      2 * sim::kMicrosecond;
+  sim_->Schedule(cost, [this, receiver, upstream] {
+    RingLink& r = ring(receiver, upstream);
+    r.sync_pending = false;
+    r.freed_view = r.freed;
+    // Count the poll; TryStartBatch resets the counter when the ring
+    // actually accepts a batch, so a sender that keeps waking without
+    // progressing (e.g. transit traffic starved behind the reserved
+    // last-hop slot) still reaches the escape valve.
+    ++r.failed_polls;
+    if (r.failed_polls >= options_.escape_poll_threshold) {
+      r.failed_polls = 0;
+      EscapeBlockedPackets(upstream, receiver);
+    }
+    if (r.FreeViewFor(true) >= 1) {
+      TryStartSends(upstream);
+    }
+    sim_->Schedule(options_.poll_interval, [this, receiver, upstream] {
+      // Keep polling while the sender still has queued traffic.
+      GpuState& gs = gpu_state(upstream);
+      for (const auto& [key, q] : gs.queues) {
+        if (!q.empty()) {
+          StartRingSync(receiver, upstream);
+          TryStartSends(upstream);
+          return;
+        }
+      }
+    });
+  });
+}
+
+std::string TransferEngine::DebugDump() const {
+  std::string out = "TransferEngine pending=" +
+                    std::to_string(pending_payload_) + "\n";
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    const GpuState& gs = gpu_states_[i];
+    bool any = gs.busy_engines > 0;
+    for (const auto& [key, q] : gs.queues) any = any || !q.empty();
+    if (!any) continue;
+    out += "GPU " + std::to_string(gpus_[i]) +
+           " engines=" + std::to_string(gs.busy_engines) + "\n";
+    for (const auto& [key, q] : gs.queues) {
+      if (q.empty()) continue;
+      out += "  queue{" + std::string(key.transit ? "transit" : "src") +
+             "," + std::to_string(key.peer) + "} n=" +
+             std::to_string(q.size());
+      if (key.transit) {
+        out += " head_route=" + q.front().packet.route.ToString() +
+               " hop=" + std::to_string(q.front().packet.hop) +
+               " slot_up=" + std::to_string(q.front().slot_upstream);
+      }
+      out += "\n";
+    }
+    for (std::size_t j = 0; j < gpus_.size(); ++j) {
+      const RingLink& rl = rings_[i * gpus_.size() + j];
+      if (rl.claimed != rl.freed) {
+        out += "  ring[recv=" + std::to_string(gpus_[i]) + ",up=" +
+               std::to_string(gpus_[j]) + "] claimed=" +
+               std::to_string(rl.claimed) + " freed=" +
+               std::to_string(rl.freed) + " freed_view=" +
+               std::to_string(rl.freed_view) +
+               " sync=" + std::to_string(rl.sync_pending) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
+  // Deadlock safety valve: transit packets waiting at `sender` for the
+  // full ring at `receiver` are re-issued on their direct route (the
+  // destination ring always drains because final packets unpack
+  // immediately). Never triggers in normal operation; see DESIGN.md.
+  GpuState& gs = gpu_state(sender);
+  auto it = gs.queues.find(QueueKey{true, receiver});
+  if (it == gs.queues.end()) return;
+  std::deque<QueuedPacket> keep;
+  for (QueuedPacket& qp : it->second) {
+    const int dst = qp.packet.final_dst();
+    if (dst == receiver) {
+      keep.push_back(std::move(qp));
+      continue;
+    }
+    ++stats_.escapes;
+    qp.packet.route = topo::Route{{sender, dst}};
+    qp.packet.hop = 0;
+    gs.queues[QueueKey{true, dst}].push_back(std::move(qp));
+  }
+  it->second = std::move(keep);
+  TryStartSends(sender);
+}
+
+}  // namespace mgjoin::net

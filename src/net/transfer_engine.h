@@ -1,0 +1,217 @@
+#ifndef MGJOIN_NET_TRANSFER_ENGINE_H_
+#define MGJOIN_NET_TRANSFER_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "net/link_state.h"
+#include "net/packet.h"
+#include "net/routing_policy.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace mgjoin::net {
+
+/// Tunables of the data-distribution machinery (paper Sec 4.1).
+struct TransferOptions {
+  /// Payload bytes per packet. The paper settles on 2 MB after profiling.
+  std::uint64_t packet_bytes = 2 * kMiB;
+  /// Packets per batch; a batch shares one route and one launch overhead.
+  int batch_packets = 8;
+  /// Routing-buffer capacity per (receiver, upstream) pair.
+  std::uint64_t ring_buffer_bytes = 64 * kMiB;
+  /// Concurrent outgoing transmissions per GPU (DMA copy engines).
+  int dma_engines = 2;
+  /// Maximum intermediate GPUs on a route (paper: 3).
+  int max_intermediates = 3;
+  /// Fixed per-batch cost of the CUDA framework (launch + descriptor).
+  sim::SimTime batch_overhead = 10 * sim::kMicrosecond;
+  /// Receiver-side cost to unpack a delivered packet before its routing
+  /// slot can be reused.
+  sim::SimTime unpack_delay = 3 * sim::kMicrosecond;
+  /// How long a sender waits between ring-buffer re-checks when the
+  /// receiver's buffer stays full.
+  sim::SimTime poll_interval = 50 * sim::kMicrosecond;
+  /// Consecutive failed polls after which queued transit packets escape
+  /// to their direct route (deadlock safety valve; see DESIGN.md).
+  int escape_poll_threshold = 20;
+  /// For the Figure 10 breakdown: measure the centralized baseline's pure
+  /// data-transfer cost by zeroing its per-batch barrier.
+  bool zero_control_overhead = false;
+};
+
+/// Aggregate outcome of one data-distribution run.
+struct TransferStats {
+  sim::SimTime first_available = 0;  ///< earliest flow availability
+  sim::SimTime last_delivery = 0;    ///< final packet landed
+  std::uint64_t payload_bytes = 0;   ///< delivered at final destinations
+  std::uint64_t wire_bytes = 0;      ///< summed over every hop traversed
+  std::uint64_t packets = 0;         ///< packets delivered
+  std::uint64_t packet_hops = 0;     ///< total channel traversals
+  std::uint64_t batches = 0;
+  std::uint64_t ring_syncs = 0;      ///< sender<->receiver buffer syncs
+  std::uint64_t escapes = 0;         ///< deadlock safety-valve reroutes
+  sim::SimTime control_overhead = 0; ///< centralized barrier time, summed
+
+  /// Wall-clock of the distribution step.
+  sim::SimTime Makespan() const {
+    return last_delivery > first_available ? last_delivery - first_available
+                                           : 0;
+  }
+  /// Average intermediate GPUs per delivered packet.
+  double AvgIntermediateHops() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(packet_hops - packets) /
+                              static_cast<double>(packets);
+  }
+  /// Delivered payload bytes per second of makespan.
+  double Throughput() const {
+    const sim::SimTime ms = Makespan();
+    return ms == 0 ? 0.0
+                   : static_cast<double>(payload_bytes) / sim::ToSeconds(ms);
+  }
+};
+
+/// \brief Executes a set of cross-GPU data flows on the simulated fabric.
+///
+/// Implements the push-based multi-hop machinery of Sec 4.1: each GPU has
+/// a sender with per-peer outgoing queues served in (deterministic)
+/// longest-queue-first order — our stand-in for the paper's weighted
+/// round-robin — and a receiver that either unpacks or forwards. Routing
+/// buffers are single-writer circular buffers whose free-slot state is
+/// synchronized lazily, exactly when the sender's view runs out.
+///
+/// Typical use:
+/// \code
+///   sim::Simulator s;
+///   auto policy = MakePolicy(PolicyKind::kAdaptive);
+///   TransferEngine eng(&s, topo.get(), gpus, policy.get(), {});
+///   eng.AddFlow({.id=0, .src_gpu=0, .dst_gpu=5, .bytes=1*kGiB});
+///   eng.Start();
+///   s.Run();
+///   TransferStats st = eng.stats();
+/// \endcode
+class TransferEngine {
+ public:
+  /// `gpus` lists the participating dense GPU indices. All raw pointers
+  /// must outlive the engine.
+  TransferEngine(sim::Simulator* sim, const topo::Topology* topo,
+                 std::vector<int> gpus, RoutingPolicy* policy,
+                 TransferOptions options);
+
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Registers a flow. Must be called before Start().
+  void AddFlow(const Flow& flow);
+
+  /// Called whenever a packet reaches its final destination, with the
+  /// delivery time. Used by the join layer to overlap local partitioning
+  /// with the distribution (Rationale 2).
+  using DeliverCallback =
+      std::function<void(const Packet& packet, sim::SimTime when)>;
+  void set_deliver_callback(DeliverCallback cb) { deliver_cb_ = std::move(cb); }
+
+  /// Schedules flow availability events. Call once, then run the
+  /// simulator to completion.
+  void Start();
+
+  /// True when every flow's bytes have been delivered.
+  bool AllDone() const { return pending_payload_ == 0 && started_; }
+
+  const TransferStats& stats() const { return stats_; }
+
+  /// Renders queue/ring/engine state for diagnosing stalls.
+  std::string DebugDump() const;
+  LinkStateTable& links() { return links_; }
+  const LinkStateTable& links() const { return links_; }
+  const TransferOptions& options() const { return options_; }
+  const std::vector<int>& gpus() const { return gpus_; }
+
+ private:
+  // Key of a sender-side outgoing queue: transit queues are per next-hop
+  // GPU (route already fixed); source queues are per final destination
+  // (route chosen when a batch is formed).
+  struct QueueKey {
+    bool transit = false;
+    int peer = -1;
+    auto operator<=>(const QueueKey&) const = default;
+  };
+
+  struct QueuedPacket {
+    Packet packet;
+    int slot_upstream = -1;  ///< ring this transit packet occupies, or -1
+  };
+
+  // Single-writer routing ring buffer at `receiver` for packets arriving
+  // from `upstream`. The sender's conservative view of free slots is
+  // slots - (claimed - freed_view); it never overclaims because only the
+  // receiver increments freed. One slot is reserved for packets on their
+  // last hop: those always drain (the destination unpacks immediately),
+  // which breaks multi-hop buffer-cycle deadlocks — any transit packet
+  // eventually escapes to its direct route and becomes last-hop traffic.
+  struct RingLink {
+    int slots = 0;
+    std::uint64_t claimed = 0;     // by the upstream sender
+    std::uint64_t freed = 0;       // by the receiver
+    std::uint64_t freed_view = 0;  // sender's last-synced copy of freed
+    bool sync_pending = false;
+    int failed_polls = 0;
+
+    int FreeViewFor(bool last_hop) const {
+      const int cap = last_hop ? slots : slots - 1;
+      return cap - static_cast<int>(claimed - freed_view);
+    }
+  };
+
+  struct GpuState {
+    std::map<QueueKey, std::deque<QueuedPacket>> queues;
+    int busy_engines = 0;
+  };
+
+  GpuState& gpu_state(int gpu) { return gpu_states_[dense_[gpu]]; }
+  RingLink& ring(int receiver, int upstream) {
+    return rings_[dense_[receiver] * gpus_.size() + dense_[upstream]];
+  }
+
+  void InjectPackets(const Flow& flow, std::uint64_t first_packet,
+                     std::uint64_t num_packets);
+  void TryStartSends(int gpu);
+  // Returns true if a batch was started from queue `key` at `gpu`.
+  bool TryStartBatch(int gpu, const QueueKey& key);
+  void SendBatch(int gpu, std::vector<QueuedPacket> batch,
+                 const topo::Route& route);
+  void HandleArrival(Packet packet, int slot_upstream);
+  void FreeRingSlot(int receiver, int upstream);
+  void StartRingSync(int receiver, int upstream);
+  void EscapeBlockedPackets(int sender, int receiver);
+
+  sim::Simulator* sim_;
+  const topo::Topology* topo_;
+  std::vector<int> gpus_;
+  std::vector<int> dense_;  // gpu index -> position in gpus_
+  RoutingPolicy* policy_;
+  TransferOptions options_;
+  LinkStateTable links_;
+
+  std::vector<Flow> flows_;
+  std::vector<GpuState> gpu_states_;
+  std::vector<RingLink> rings_;
+  DeliverCallback deliver_cb_;
+
+  bool started_ = false;
+  std::uint64_t pending_payload_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+  sim::SimTime global_barrier_free_ = 0;  // centralized-policy serializer
+  TransferStats stats_;
+};
+
+}  // namespace mgjoin::net
+
+#endif  // MGJOIN_NET_TRANSFER_ENGINE_H_

@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace mgjoin::sim {
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  MGJ_CHECK(when >= now_) << "scheduling into the past: " << when << " < "
+                          << now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::Run() {
+  while (!queue_.empty()) {
+    // The event's closure may schedule more events; pop first.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace mgjoin::sim

@@ -1,0 +1,207 @@
+// mgjoin — command-line front end for the MG-Join simulator.
+//
+//   mgjoin topo  [--machine dgx1|dgxstation|dgx2]
+//   mgjoin join  [--gpus N] [--tuples N] [--policy P] [--zipf Z]
+//                [--key-zipf Z] [--packet-kb N] [--scale S]
+//                [--no-compression] [--links]
+//   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
+//
+// Policies: adaptive (default), direct, bandwidth, hopcount, latency,
+// centralized.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "data/generator.h"
+#include "exec/engine.h"
+#include "join/mg_join.h"
+#include "join/umj.h"
+#include "topo/presets.h"
+#include "tpch/dbgen.h"
+#include "tpch/omnisci_model.h"
+#include "tpch/queries.h"
+
+using namespace mgjoin;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool Has(const std::string& k) const { return kv.count(k) > 0; }
+  std::string Get(const std::string& k, const std::string& dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  double GetD(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
+  }
+  long long GetI(const std::string& k, long long dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::atoll(it->second.c_str());
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<topo::Topology> MakeMachine(const std::string& name) {
+  if (name == "dgxstation") return topo::MakeDgxStation();
+  if (name == "dgx2") return topo::MakeDgx2();
+  return topo::MakeDgx1V();
+}
+
+net::PolicyKind ParsePolicy(const std::string& p) {
+  if (p == "direct") return net::PolicyKind::kDirect;
+  if (p == "bandwidth") return net::PolicyKind::kBandwidth;
+  if (p == "hopcount") return net::PolicyKind::kHopCount;
+  if (p == "latency") return net::PolicyKind::kLatency;
+  if (p == "centralized") return net::PolicyKind::kCentralized;
+  return net::PolicyKind::kAdaptive;
+}
+
+int CmdTopo(const Args& args) {
+  auto topo = MakeMachine(args.Get("machine", "dgx1"));
+  std::printf("%s", topo->ToString().c_str());
+  const auto gpus = topo::AllGpus(*topo);
+  std::printf("bisection bandwidth (%d GPUs): %s\n", topo->num_gpus(),
+              FormatBandwidth(topo->BisectionBandwidth(gpus)).c_str());
+  if (topo->num_gpus() >= 2) {
+    std::printf("routes 0 -> %d:\n", topo->num_gpus() - 1);
+    for (const auto& r :
+         topo->EnumerateRoutes(0, topo->num_gpus() - 1)) {
+      std::printf("  %s\n", r.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdJoin(const Args& args) {
+  auto topo = MakeMachine(args.Get("machine", "dgx1"));
+  const int g = static_cast<int>(args.GetI("gpus", topo->num_gpus()));
+  if (g < 1 || g > topo->num_gpus()) {
+    std::fprintf(stderr, "gpus must be 1..%d\n", topo->num_gpus());
+    return 1;
+  }
+  data::GenOptions gen;
+  gen.tuples_per_relation =
+      static_cast<std::uint64_t>(args.GetI("tuples", 1 << 20)) * g;
+  gen.num_gpus = g;
+  gen.placement_zipf = args.GetD("zipf", 0.0);
+  gen.key_zipf = args.GetD("key-zipf", 0.0);
+  auto [r, s] = data::MakeJoinInput(gen);
+
+  join::MgJoinOptions opts;
+  opts.policy = ParsePolicy(args.Get("policy", "adaptive"));
+  opts.transfer.packet_bytes =
+      static_cast<std::uint64_t>(args.GetI("packet-kb", 2048)) * kKiB;
+  opts.use_compression = !args.Has("no-compression");
+  opts.virtual_scale = args.GetD("scale", 1.0);
+
+  join::MgJoin join(topo.get(), topo::FirstNGpus(g), opts);
+  auto res = join.Execute(r, s);
+  if (!res.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 res.status().ToString().c_str());
+    return 1;
+  }
+  const join::JoinResult& out = res.value();
+  std::printf("policy            %s\n", net::PolicyKindName(opts.policy));
+  std::printf("input tuples      %llu (simulated %llu)\n",
+              static_cast<unsigned long long>(out.input_tuples),
+              static_cast<unsigned long long>(out.virtual_input_tuples));
+  std::printf("matches           %llu\n",
+              static_cast<unsigned long long>(out.matches));
+  std::printf("total time        %.3f ms\n", sim::ToMillis(out.timing.total));
+  std::printf("  distribution    %.3f ms (exposed %.3f ms)\n",
+              sim::ToMillis(out.timing.distribution),
+              sim::ToMillis(out.timing.distribution_exposed));
+  std::printf("throughput        %.2f B tuples/s\n", out.Throughput() / 1e9);
+  std::printf("shuffled          %s (compression %.2fx)\n",
+              FormatBytes(out.shuffled_bytes).c_str(),
+              out.CompressionRatio());
+  std::printf("avg extra hops    %.2f\n", out.net.AvgIntermediateHops());
+  return 0;
+}
+
+int CmdTpch(const Args& args) {
+  const std::string which = args.Get("query", "all");
+  const double sf = args.GetD("sf", 0.05);
+  const double vsf = args.GetD("virtual-sf", 250.0);
+  auto topo = MakeMachine(args.Get("machine", "dgx1"));
+  const auto gpus = topo::AllGpus(*topo);
+  const tpch::TpchData db = tpch::GenerateTpch(sf, topo->num_gpus());
+
+  std::printf("%-6s %-10s %-12s %-12s %-12s\n", "query", "MG-Join",
+              "OmnisciCPU", "OmnisciGPU", "value");
+  for (const auto& [name, fn] : tpch::AllQueries()) {
+    if (which != "all" && name != "Q" + which) continue;
+    exec::EngineOptions opts;
+    opts.join.virtual_scale = vsf / sf;
+    exec::Engine eng(topo.get(), gpus, opts);
+    auto q = fn(eng, db);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    const auto cpu = tpch::EstimateOmnisci(q.value().ops,
+                                           tpch::OmnisciMode::kCpu, 8);
+    const auto gpu = tpch::EstimateOmnisci(q.value().ops,
+                                           tpch::OmnisciMode::kGpu, 8);
+    char gpu_cell[32];
+    if (gpu.supported) {
+      std::snprintf(gpu_cell, sizeof(gpu_cell), "%.2fs",
+                    sim::ToSeconds(gpu.time));
+    } else {
+      std::snprintf(gpu_cell, sizeof(gpu_cell), "NA");
+    }
+    std::printf("%-6s %-10.3f %-12.1f %-12s %-12.6g\n", name.c_str(),
+                sim::ToSeconds(q.value().time), sim::ToSeconds(cpu.time),
+                gpu_cell, q.value().value);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: mgjoin <topo|join|tpch> [--flag value ...]\n"
+               "  topo  --machine dgx1|dgxstation|dgx2\n"
+               "  join  --gpus N --tuples N --policy adaptive|direct|"
+               "bandwidth|hopcount|latency|centralized\n"
+               "        --zipf Z --key-zipf Z --packet-kb N --scale S "
+               "--no-compression\n"
+               "  tpch  --query 3|5|10|12|14|19|all --sf F "
+               "--virtual-sf F\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "topo") return CmdTopo(args);
+  if (cmd == "join") return CmdJoin(args);
+  if (cmd == "tpch") return CmdTpch(args);
+  Usage();
+  return 1;
+}

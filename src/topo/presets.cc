@@ -1,0 +1,145 @@
+#include "topo/presets.h"
+
+#include "common/logging.h"
+
+namespace mgjoin::topo {
+
+namespace {
+// DGX-1V NVLink 2.0 hybrid cube-mesh (nvidia-smi topo -m). Each GPU has
+// six 25 GB/s bricks; doubled entries are 50 GB/s links.
+struct NvPair {
+  int a, b;
+  LinkType type;
+};
+constexpr NvPair kDgx1NvLinks[] = {
+    {0, 1, LinkType::kNvLink1}, {0, 2, LinkType::kNvLink1},
+    {0, 3, LinkType::kNvLink2}, {0, 4, LinkType::kNvLink2},
+    {1, 2, LinkType::kNvLink2}, {1, 3, LinkType::kNvLink1},
+    {1, 5, LinkType::kNvLink2}, {2, 3, LinkType::kNvLink2},
+    {2, 6, LinkType::kNvLink1}, {3, 7, LinkType::kNvLink1},
+    {4, 5, LinkType::kNvLink1}, {4, 6, LinkType::kNvLink1},
+    {4, 7, LinkType::kNvLink2}, {5, 6, LinkType::kNvLink2},
+    {5, 7, LinkType::kNvLink1}, {6, 7, LinkType::kNvLink2},
+};
+}  // namespace
+
+std::unique_ptr<Topology> MakeDgx1V() {
+  auto topo = std::make_unique<Topology>();
+  // GPUs 0..3 hang off socket 0; GPUs 4..7 off socket 1.
+  int gpu[8];
+  for (int i = 0; i < 8; ++i) {
+    gpu[i] = topo->AddNode(NodeType::kGpu, i < 4 ? 0 : 1,
+                           "GPU" + std::to_string(i));
+  }
+  int sw[4];
+  for (int i = 0; i < 4; ++i) {
+    sw[i] = topo->AddNode(NodeType::kPcieSwitch, i < 2 ? 0 : 1,
+                          "PLX" + std::to_string(i));
+  }
+  const int cpu0 = topo->AddNode(NodeType::kCpu, 0, "CPU0");
+  const int cpu1 = topo->AddNode(NodeType::kCpu, 1, "CPU1");
+
+  for (const NvPair& p : kDgx1NvLinks) {
+    topo->AddLink(gpu[p.a], gpu[p.b], p.type);
+  }
+  // Two GPUs share each PCIe switch; the switch uplink is the shared
+  // 16 GB/s bus the paper identifies as the congestion hotspot.
+  for (int i = 0; i < 8; ++i) {
+    topo->AddLink(gpu[i], sw[i / 2], LinkType::kPcie3);
+  }
+  topo->AddLink(sw[0], cpu0, LinkType::kPcie3);
+  topo->AddLink(sw[1], cpu0, LinkType::kPcie3);
+  topo->AddLink(sw[2], cpu1, LinkType::kPcie3);
+  topo->AddLink(sw[3], cpu1, LinkType::kPcie3);
+  topo->AddLink(cpu0, cpu1, LinkType::kQpi);
+
+  MGJ_CHECK_OK(topo->Finalize());
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeDgxStation() {
+  auto topo = std::make_unique<Topology>();
+  int gpu[4];
+  for (int i = 0; i < 4; ++i) {
+    gpu[i] = topo->AddNode(NodeType::kGpu, 0, "GPU" + std::to_string(i));
+  }
+  const int sw0 = topo->AddNode(NodeType::kPcieSwitch, 0, "PLX0");
+  const int sw1 = topo->AddNode(NodeType::kPcieSwitch, 0, "PLX1");
+  const int cpu = topo->AddNode(NodeType::kCpu, 0, "CPU0");
+
+  // Fully connected single-brick NVLink mesh.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      topo->AddLink(gpu[a], gpu[b], LinkType::kNvLink1);
+    }
+  }
+  topo->AddLink(gpu[0], sw0, LinkType::kPcie3);
+  topo->AddLink(gpu[1], sw0, LinkType::kPcie3);
+  topo->AddLink(gpu[2], sw1, LinkType::kPcie3);
+  topo->AddLink(gpu[3], sw1, LinkType::kPcie3);
+  topo->AddLink(sw0, cpu, LinkType::kPcie3);
+  topo->AddLink(sw1, cpu, LinkType::kPcie3);
+
+  MGJ_CHECK_OK(topo->Finalize());
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeSingleGpu() {
+  auto topo = std::make_unique<Topology>();
+  const int gpu = topo->AddNode(NodeType::kGpu, 0, "GPU0");
+  const int cpu = topo->AddNode(NodeType::kCpu, 0, "CPU0");
+  topo->AddLink(gpu, cpu, LinkType::kPcie3);
+  MGJ_CHECK_OK(topo->Finalize());
+  return topo;
+}
+
+std::unique_ptr<Topology> MakeDgx2() {
+  auto topo = std::make_unique<Topology>();
+  int gpu[16];
+  for (int i = 0; i < 16; ++i) {
+    gpu[i] = topo->AddNode(NodeType::kGpu, i < 8 ? 0 : 1,
+                           "GPU" + std::to_string(i));
+  }
+  // NVSwitch gives all-to-all NVLink connectivity; modeled as a double
+  // brick per pair within a board and single bricks across boards (the
+  // two NVSwitch planes are bridged).
+  for (int a = 0; a < 16; ++a) {
+    for (int b = a + 1; b < 16; ++b) {
+      const bool same_board = (a < 8) == (b < 8);
+      topo->AddLink(gpu[a], gpu[b],
+                    same_board ? LinkType::kNvLink2 : LinkType::kNvLink1);
+    }
+  }
+  int sw[4];
+  for (int i = 0; i < 4; ++i) {
+    sw[i] = topo->AddNode(NodeType::kPcieSwitch, i < 2 ? 0 : 1,
+                          "PLX" + std::to_string(i));
+  }
+  const int cpu0 = topo->AddNode(NodeType::kCpu, 0, "CPU0");
+  const int cpu1 = topo->AddNode(NodeType::kCpu, 1, "CPU1");
+  for (int i = 0; i < 16; ++i) {
+    topo->AddLink(gpu[i], sw[i / 4], LinkType::kPcie3);
+  }
+  topo->AddLink(sw[0], cpu0, LinkType::kPcie3);
+  topo->AddLink(sw[1], cpu0, LinkType::kPcie3);
+  topo->AddLink(sw[2], cpu1, LinkType::kPcie3);
+  topo->AddLink(sw[3], cpu1, LinkType::kPcie3);
+  topo->AddLink(cpu0, cpu1, LinkType::kQpi);
+
+  MGJ_CHECK_OK(topo->Finalize());
+  return topo;
+}
+
+GpuSet AllGpus(const Topology& topo) {
+  GpuSet out(topo.num_gpus());
+  for (int i = 0; i < topo.num_gpus(); ++i) out[i] = i;
+  return out;
+}
+
+GpuSet FirstNGpus(int n) {
+  GpuSet out(n);
+  for (int i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+}  // namespace mgjoin::topo

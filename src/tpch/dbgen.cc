@@ -1,0 +1,259 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace mgjoin::tpch {
+
+namespace {
+
+using exec::ColType;
+using exec::Column;
+using exec::DateToDays;
+using exec::DistTable;
+using exec::Table;
+
+const std::int32_t kStartDate = DateToDays(1992, 1, 1);
+const std::int32_t kEndDate = DateToDays(1998, 8, 2);
+
+// Builds one DistTable with the given schema on every shard.
+DistTable MakeSharded(int num_gpus,
+                      const std::vector<std::pair<std::string, ColType>>&
+                          schema) {
+  DistTable t;
+  t.shards.resize(num_gpus);
+  for (Table& shard : t.shards) {
+    for (const auto& [name, type] : schema) shard.AddColumn(name, type);
+  }
+  return t;
+}
+
+void FillDicts(DistTable* t, const std::string& column,
+               const std::vector<std::string>& values) {
+  for (Table& shard : t->shards) shard.dict(column) = values;
+}
+
+std::vector<std::string> BrandNames() {
+  std::vector<std::string> out;
+  for (int m = 1; m <= 5; ++m) {
+    for (int n = 1; n <= 5; ++n) {
+      out.push_back("Brand#" + std::to_string(m) + std::to_string(n));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TypeNames() {
+  const char* fam[] = {"PROMO", "STANDARD", "SMALL", "MEDIUM", "LARGE",
+                       "ECONOMY"};
+  const char* mid[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                       "BRUSHED"};
+  const char* mat[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  std::vector<std::string> out;
+  for (const char* f : fam) {
+    for (const char* m : mid) {
+      for (const char* t : mat) {
+        out.push_back(std::string(f) + " " + m + " " + t);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ContainerNames() {
+  const char* sizes[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+  const char* shapes[] = {"CASE", "BOX",  "PACK", "PKG",
+                          "BAG",  "JAR",  "DRUM", "CAN"};
+  std::vector<std::string> out;
+  for (const char* s : sizes) {
+    for (const char* sh : shapes) {
+      out.push_back(std::string(s) + " " + sh);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TpchData GenerateTpch(double scale_factor, int num_gpus,
+                      std::uint64_t seed) {
+  MGJ_CHECK(scale_factor > 0 && num_gpus >= 1);
+  TpchData db;
+  db.scale_factor = scale_factor;
+  db.num_gpus = num_gpus;
+  Rng rng(seed);
+
+  const std::uint64_t n_orders =
+      static_cast<std::uint64_t>(kOrdersPerSf * scale_factor);
+  const std::uint64_t n_customers = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(kCustomersPerSf * scale_factor));
+  const std::uint64_t n_suppliers = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(kSuppliersPerSf * scale_factor));
+  const std::uint64_t n_parts = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(kPartsPerSf * scale_factor));
+
+  // --- region / nation (fixed 5 + 25 rows on shard 0) ----------------
+  db.region = MakeSharded(num_gpus, {{"r_regionkey", ColType::kInt32},
+                                     {"r_name", ColType::kDict}});
+  FillDicts(&db.region, "r_name",
+            {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"});
+  for (int i = 0; i < 5; ++i) {
+    db.region.shards[0].col("r_regionkey").ints.push_back(i);
+    db.region.shards[0].col("r_name").ints.push_back(i);
+  }
+
+  db.nation = MakeSharded(num_gpus, {{"n_nationkey", ColType::kInt32},
+                                     {"n_regionkey", ColType::kInt32},
+                                     {"n_name", ColType::kDict}});
+  const std::vector<std::string> nation_names = {
+      "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+      "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+      "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+      "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+      "UNITED STATES"};
+  const int nation_region[25] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+  FillDicts(&db.nation, "n_name", nation_names);
+  for (int i = 0; i < 25; ++i) {
+    db.nation.shards[0].col("n_nationkey").ints.push_back(i);
+    db.nation.shards[0].col("n_regionkey").ints.push_back(nation_region[i]);
+    db.nation.shards[0].col("n_name").ints.push_back(i);
+  }
+
+  // --- customer -------------------------------------------------------
+  db.customer = MakeSharded(num_gpus, {{"c_custkey", ColType::kInt32},
+                                       {"c_nationkey", ColType::kInt32},
+                                       {"c_mktsegment", ColType::kDict}});
+  FillDicts(&db.customer, "c_mktsegment",
+            {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+             "MACHINERY"});
+  for (std::uint64_t i = 0; i < n_customers; ++i) {
+    Table& shard = db.customer.shards[i % num_gpus];
+    shard.col("c_custkey").ints.push_back(static_cast<std::int64_t>(i + 1));
+    shard.col("c_nationkey").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(25)));
+    shard.col("c_mktsegment").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(codes::kNumSegments)));
+  }
+
+  // --- supplier -------------------------------------------------------
+  db.supplier = MakeSharded(num_gpus, {{"s_suppkey", ColType::kInt32},
+                                       {"s_nationkey", ColType::kInt32}});
+  for (std::uint64_t i = 0; i < n_suppliers; ++i) {
+    Table& shard = db.supplier.shards[i % num_gpus];
+    shard.col("s_suppkey").ints.push_back(static_cast<std::int64_t>(i + 1));
+    shard.col("s_nationkey").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(25)));
+  }
+
+  // --- part -----------------------------------------------------------
+  db.part = MakeSharded(num_gpus, {{"p_partkey", ColType::kInt32},
+                                   {"p_brand", ColType::kDict},
+                                   {"p_type", ColType::kDict},
+                                   {"p_size", ColType::kInt32},
+                                   {"p_container", ColType::kDict}});
+  FillDicts(&db.part, "p_brand", BrandNames());
+  FillDicts(&db.part, "p_container", ContainerNames());
+  FillDicts(&db.part, "p_type", TypeNames());
+  for (std::uint64_t i = 0; i < n_parts; ++i) {
+    Table& shard = db.part.shards[i % num_gpus];
+    shard.col("p_partkey").ints.push_back(static_cast<std::int64_t>(i + 1));
+    shard.col("p_brand").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(25)));
+    shard.col("p_type").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(codes::kNumTypes)));
+    shard.col("p_size").ints.push_back(
+        static_cast<std::int64_t>(1 + rng.Uniform(50)));
+    shard.col("p_container").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(codes::kNumContainers)));
+  }
+
+  // --- orders + lineitem ----------------------------------------------
+  db.orders = MakeSharded(num_gpus, {{"o_orderkey", ColType::kInt32},
+                                     {"o_custkey", ColType::kInt32},
+                                     {"o_orderdate", ColType::kDate},
+                                     {"o_orderpriority", ColType::kDict},
+                                     {"o_shippriority", ColType::kInt32}});
+  FillDicts(&db.orders, "o_orderpriority",
+            {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+             "5-LOW"});
+  db.lineitem =
+      MakeSharded(num_gpus, {{"l_orderkey", ColType::kInt32},
+                             {"l_partkey", ColType::kInt32},
+                             {"l_suppkey", ColType::kInt32},
+                             {"l_quantity", ColType::kDouble},
+                             {"l_extendedprice", ColType::kDouble},
+                             {"l_discount", ColType::kDouble},
+                             {"l_returnflag", ColType::kDict},
+                             {"l_shipdate", ColType::kDate},
+                             {"l_commitdate", ColType::kDate},
+                             {"l_receiptdate", ColType::kDate},
+                             {"l_shipinstruct", ColType::kDict},
+                             {"l_shipmode", ColType::kDict}});
+  FillDicts(&db.lineitem, "l_returnflag", {"A", "N", "R"});
+  FillDicts(&db.lineitem, "l_shipinstruct",
+            {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+             "TAKE BACK RETURN"});
+  FillDicts(&db.lineitem, "l_shipmode",
+            {"AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"});
+
+  std::uint64_t next_line = 0;
+  for (std::uint64_t o = 0; o < n_orders; ++o) {
+    Table& oshard = db.orders.shards[o % num_gpus];
+    const std::int64_t orderkey = static_cast<std::int64_t>(o + 1);
+    // Order dates leave >= 151 days before the end so line dates fit.
+    const std::int32_t orderdate = static_cast<std::int32_t>(
+        kStartDate + rng.Uniform(kEndDate - kStartDate - 151));
+    oshard.col("o_orderkey").ints.push_back(orderkey);
+    oshard.col("o_custkey").ints.push_back(
+        static_cast<std::int64_t>(1 + rng.Uniform(n_customers)));
+    oshard.col("o_orderdate").ints.push_back(orderdate);
+    oshard.col("o_orderpriority").ints.push_back(
+        static_cast<std::int64_t>(rng.Uniform(codes::kNumPriorities)));
+    oshard.col("o_shippriority").ints.push_back(0);
+
+    const std::uint64_t lines = 1 + rng.Uniform(7);
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      Table& ls = db.lineitem.shards[next_line++ % num_gpus];
+      ls.col("l_orderkey").ints.push_back(orderkey);
+      ls.col("l_partkey").ints.push_back(
+          static_cast<std::int64_t>(1 + rng.Uniform(n_parts)));
+      ls.col("l_suppkey").ints.push_back(
+          static_cast<std::int64_t>(1 + rng.Uniform(n_suppliers)));
+      const double qty = 1.0 + static_cast<double>(rng.Uniform(50));
+      ls.col("l_quantity").doubles.push_back(qty);
+      ls.col("l_extendedprice")
+          .doubles.push_back(qty * (900.0 + rng.NextDouble() * 1200.0));
+      ls.col("l_discount").doubles.push_back(
+          static_cast<double>(rng.Uniform(11)) / 100.0);
+      const std::int32_t shipdate =
+          orderdate + 1 + static_cast<std::int32_t>(rng.Uniform(121));
+      const std::int32_t commitdate =
+          orderdate + 30 + static_cast<std::int32_t>(rng.Uniform(61));
+      const std::int32_t receiptdate =
+          shipdate + 1 + static_cast<std::int32_t>(rng.Uniform(30));
+      ls.col("l_shipdate").ints.push_back(shipdate);
+      ls.col("l_commitdate").ints.push_back(commitdate);
+      ls.col("l_receiptdate").ints.push_back(receiptdate);
+      // TPC-H: flag R/A when receipt <= current date (1995-06-17), else N.
+      static const std::int32_t kCurrent = DateToDays(1995, 6, 17);
+      int flag;
+      if (receiptdate <= kCurrent) {
+        flag = rng.Uniform(2) ? codes::kFlagR : codes::kFlagA;
+      } else {
+        flag = codes::kFlagN;
+      }
+      ls.col("l_returnflag").ints.push_back(flag);
+      ls.col("l_shipinstruct").ints.push_back(
+          static_cast<std::int64_t>(rng.Uniform(codes::kNumInstructs)));
+      ls.col("l_shipmode").ints.push_back(
+          static_cast<std::int64_t>(rng.Uniform(codes::kNumModes)));
+    }
+  }
+  return db;
+}
+
+}  // namespace mgjoin::tpch

@@ -1,0 +1,79 @@
+#ifndef MGJOIN_TPCH_DBGEN_H_
+#define MGJOIN_TPCH_DBGEN_H_
+
+#include <cstdint>
+
+#include "exec/table.h"
+
+namespace mgjoin::tpch {
+
+/// \brief The TPC-H tables needed by Q3/Q5/Q10/Q12/Q14/Q19, sharded over
+/// the participating GPUs, plus the scale factor they were built at.
+struct TpchData {
+  exec::DistTable lineitem;
+  exec::DistTable orders;
+  exec::DistTable customer;
+  exec::DistTable supplier;
+  exec::DistTable nation;
+  exec::DistTable region;
+  exec::DistTable part;
+  double scale_factor = 0;
+  int num_gpus = 0;
+};
+
+/// Fixed dictionary codes shared by the generator and the queries.
+namespace codes {
+// c_mktsegment
+inline constexpr int kSegAutomobile = 0, kSegBuilding = 1, kSegFurniture = 2,
+                     kSegHousehold = 3, kSegMachinery = 4, kNumSegments = 5;
+// l_shipmode
+inline constexpr int kModeAir = 0, kModeAirReg = 1, kModeFob = 2,
+                     kModeMail = 3, kModeRail = 4, kModeShip = 5,
+                     kModeTruck = 6, kNumModes = 7;
+// l_shipinstruct
+inline constexpr int kInstrDeliverInPerson = 0, kInstrCollectCod = 1,
+                     kInstrNone = 2, kInstrTakeBackReturn = 3,
+                     kNumInstructs = 4;
+// l_returnflag
+inline constexpr int kFlagA = 0, kFlagN = 1, kFlagR = 2;
+// o_orderpriority: "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+// "5-LOW"; Q12 counts 1/2 as high priority.
+inline constexpr int kNumPriorities = 5;
+// p_container: SM/MED/LG/JUMBO/WRAP x CASE/BOX/PACK/BAG/... -> 40 codes;
+// code = size_class * 8 + shape. Q19 uses these groups:
+// code = size_class*8 + shape with shapes ordered
+// CASE, BOX, PACK, PKG, BAG, JAR, DRUM, CAN.
+inline constexpr int kContSmCase = 0, kContSmBox = 1, kContSmPack = 2,
+                     kContSmPkg = 3;
+inline constexpr int kContMedBox = 9, kContMedPack = 10, kContMedPkg = 11,
+                     kContMedBag = 12;
+inline constexpr int kContLgCase = 16, kContLgBox = 17, kContLgPack = 18,
+                     kContLgPkg = 19;
+inline constexpr int kNumContainers = 40;
+// p_type: 150 codes; the 25 "PROMO ..." types are codes 0..24 (Q14).
+inline constexpr int kNumTypes = 150, kNumPromoTypes = 25;
+// p_brand: "Brand#MN" with M,N in 1..5 -> code = (M-1)*5 + (N-1).
+inline int BrandCode(int m, int n) { return (m - 1) * 5 + (n - 1); }
+// Region keys (TPC-H fixed): AFRICA=0, AMERICA=1, ASIA=2, EUROPE=3,
+// MIDDLE EAST=4.
+inline constexpr int kRegionAsia = 2;
+}  // namespace codes
+
+/// Rows per scale-factor unit (TPC-H spec).
+inline constexpr double kOrdersPerSf = 1500000;
+inline constexpr double kCustomersPerSf = 150000;
+inline constexpr double kSuppliersPerSf = 10000;
+inline constexpr double kPartsPerSf = 200000;
+
+/// \brief Generates TPC-H data at `scale_factor`, round-robin sharded
+/// over `num_gpus` GPUs.
+///
+/// Schema-faithful for the columns the six supported queries touch;
+/// distributions (dates, quantities, discounts, priorities) follow the
+/// TPC-H spec closely enough to reproduce the queries' selectivities.
+TpchData GenerateTpch(double scale_factor, int num_gpus,
+                      std::uint64_t seed = 19992);
+
+}  // namespace mgjoin::tpch
+
+#endif  // MGJOIN_TPCH_DBGEN_H_

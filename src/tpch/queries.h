@@ -1,0 +1,55 @@
+#ifndef MGJOIN_TPCH_QUERIES_H_
+#define MGJOIN_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "tpch/dbgen.h"
+
+namespace mgjoin::tpch {
+
+/// Work performed by one query at the *virtual* scale; input to the
+/// OmniSci comparison models.
+struct OpCounts {
+  double rows_scanned = 0;  ///< base-table rows read by filters/scans
+  double rows_joined = 0;   ///< build+probe rows over all joins
+  double join_output_rows = 0;  ///< matched pairs over all joins
+  double rows_out = 0;      ///< final result rows before top-k
+  /// Bytes of inner/base tables a shared-nothing executor must replicate
+  /// on every GPU to answer the query without a shuffle.
+  double replicated_bytes = 0;
+  /// Rows of those replicated tables (hash-table sizing).
+  double replicated_rows = 0;
+  /// Per-GPU resident bytes of the locally sharded tables.
+  double local_bytes = 0;
+};
+
+/// Outcome of one TPC-H query execution.
+struct QueryOutput {
+  std::string name;
+  sim::SimTime time = 0;       ///< simulated execution time
+  double value = 0;            ///< headline aggregate (for verification)
+  std::uint64_t result_rows = 0;
+  OpCounts ops;
+};
+
+/// The six TPC-H queries the paper evaluates (no sub-queries, at least
+/// one join): Q3, Q5, Q10, Q12, Q14, Q19. Each runs functionally on the
+/// supplied engine and charges its simulated clock.
+Result<QueryOutput> RunQ3(exec::Engine& eng, const TpchData& db);
+Result<QueryOutput> RunQ5(exec::Engine& eng, const TpchData& db);
+Result<QueryOutput> RunQ10(exec::Engine& eng, const TpchData& db);
+Result<QueryOutput> RunQ12(exec::Engine& eng, const TpchData& db);
+Result<QueryOutput> RunQ14(exec::Engine& eng, const TpchData& db);
+Result<QueryOutput> RunQ19(exec::Engine& eng, const TpchData& db);
+
+using QueryFn = Result<QueryOutput> (*)(exec::Engine&, const TpchData&);
+
+/// All supported queries in paper order.
+std::vector<std::pair<std::string, QueryFn>> AllQueries();
+
+}  // namespace mgjoin::tpch
+
+#endif  // MGJOIN_TPCH_QUERIES_H_

@@ -1,0 +1,218 @@
+// Unit tests for src/common: Status/Result, units, RNG/Zipf, bit
+// utilities and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+namespace mgjoin {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad packet size");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad packet size");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  Result<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status ChainedHelper(int x, int* out) {
+  MGJ_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int v = 0;
+  EXPECT_TRUE(ChainedHelper(5, &v).ok());
+  EXPECT_EQ(v, 5);
+  EXPECT_FALSE(ChainedHelper(-5, &v).ok());
+}
+
+TEST(UnitsTest, Formatting) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * kMiB), "2.0 MiB");
+  EXPECT_EQ(FormatBytes(3 * kGiB), "3.0 GiB");
+  EXPECT_EQ(FormatBandwidth(25.0 * kGBps), "25.0 GB/s");
+}
+
+TEST(UnitsTest, PaperTupleUnits) {
+  // The paper's "M" is 2^20 and "B" is 2^30.
+  EXPECT_EQ(kMTuples, 1048576u);
+  EXPECT_EQ(kBTuples, 1024u * kMTuples);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  ZipfGenerator gen(10, 0.0, 99);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next()];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnHead) {
+  ZipfGenerator gen(1000, 1.0, 99);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next() < 10) ++head;
+  }
+  // With z=1 over 1000 values, the top 10 values carry ~39% of the mass.
+  EXPECT_GT(head, n / 3);
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator gen(37, 0.75, 1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.Next(), 37u);
+}
+
+TEST(BitUtilTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(0), 0);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(4096), 12);
+  EXPECT_EQ(Log2Ceil(4097), 13);
+}
+
+TEST(BitUtilTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(4096), 4096u);
+  EXPECT_EQ(NextPow2(4097), 8192u);
+}
+
+TEST(BitUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 100), 1u);
+}
+
+TEST(BitUtilTest, ExtractBits) {
+  EXPECT_EQ(ExtractBits(0xABCD1234, 0, 4), 0x4u);
+  EXPECT_EQ(ExtractBits(0xABCD1234, 28, 4), 0xAu);
+  EXPECT_EQ(ExtractBits(0xFFFFFFFF, 0, 32), 0xFFFFFFFFu);
+  EXPECT_EQ(ExtractBits(0xFFFFFFFF, 5, 0), 0u);
+}
+
+TEST(HashTest, MixesSequentialKeys) {
+  // Radix partitioning takes top bits; sequential keys must spread.
+  std::map<std::uint32_t, int> buckets;
+  for (std::uint32_t k = 0; k < 65536; ++k) {
+    ++buckets[HashKey(k) >> 28];  // 16 buckets
+  }
+  EXPECT_EQ(buckets.size(), 16u);
+  for (const auto& [b, c] : buckets) {
+    EXPECT_NEAR(c, 4096, 600) << "bucket " << b;
+  }
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashKey(42), HashKey(42));
+  EXPECT_EQ(HashKey64(42), HashKey64(42));
+  EXPECT_NE(HashKey(42), HashKey(43));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  std::vector<int> hits(257, 0);
+  ParallelFor(0, 257, [&hits](std::size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  bool ran = false;
+  ParallelFor(5, 5, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace mgjoin

@@ -1,0 +1,149 @@
+// Tests for the mini relational engine: tables, filters, joins,
+// materialization and the simulated query clock.
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "exec/table.h"
+#include "topo/presets.h"
+
+namespace mgjoin::exec {
+namespace {
+
+DistTable MakeKv(int shards, const std::vector<std::int64_t>& keys,
+                 const std::vector<std::int64_t>& values) {
+  DistTable t;
+  t.shards.resize(shards);
+  for (Table& s : t.shards) {
+    s.AddColumn("k", ColType::kInt32);
+    s.AddColumn("v", ColType::kInt64);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    Table& s = t.shards[i % shards];
+    s.col("k").ints.push_back(keys[i]);
+    s.col("v").ints.push_back(values[i]);
+  }
+  return t;
+}
+
+TEST(TableTest, ColumnsAndRows) {
+  Table t;
+  t.AddColumn("a", ColType::kInt32);
+  t.AddColumn("b", ColType::kDouble);
+  t.col("a").ints = {1, 2, 3};
+  t.col("b").doubles = {1.5, 2.5, 3.5};
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.TotalBytes(), 3 * 4 + 3 * 8u);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("z"));
+}
+
+TEST(TableTest, DateConversion) {
+  EXPECT_EQ(DateToDays(1970, 1, 1), 0);
+  EXPECT_EQ(DateToDays(1970, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1995, 3, 15), 9204);
+  // Ordering holds across the TPC-H date range.
+  EXPECT_LT(DateToDays(1992, 1, 1), DateToDays(1998, 8, 2));
+  EXPECT_LT(DateToDays(1994, 12, 31), DateToDays(1995, 1, 1));
+}
+
+TEST(TableTest, RowLocator) {
+  DistTable t = MakeKv(3, {10, 11, 12, 13, 14, 15, 16}, {0, 1, 2, 3, 4, 5, 6});
+  RowLocator loc(t);
+  // Rows are round-robin: shard0={10,13,16}, shard1={11,14}, ...
+  // Global ids stack shards in order.
+  EXPECT_EQ(loc.Int("k", 0), 10);
+  EXPECT_EQ(loc.Int("k", 1), 13);
+  EXPECT_EQ(loc.Int("k", 2), 16);
+  EXPECT_EQ(loc.Int("k", 3), 11);
+  EXPECT_EQ(loc.Int("k", 6), 15);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : topo_(topo::MakeDgx1V()) {}
+  Engine MakeEngine(int g) {
+    return Engine(topo_.get(), topo::FirstNGpus(g), EngineOptions{});
+  }
+  std::unique_ptr<topo::Topology> topo_;
+};
+
+TEST_F(EngineTest, FilterKeepsMatchingRows) {
+  Engine eng = MakeEngine(2);
+  DistTable t = MakeKv(2, {1, 2, 3, 4, 5, 6}, {10, 20, 30, 40, 50, 60});
+  DistTable out = eng.Filter(
+      t, {"k"},
+      [](const Table& s, std::uint64_t i) { return s.col("k").ints[i] > 3; },
+      {"k", "v"});
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_GT(eng.elapsed(), 0u);
+}
+
+TEST_F(EngineTest, HashJoinFindsAllMatches) {
+  Engine eng = MakeEngine(4);
+  DistTable l = MakeKv(4, {1, 2, 3, 4, 5, 6, 7, 8}, {0, 0, 0, 0, 0, 0, 0, 0});
+  DistTable r = MakeKv(4, {2, 4, 6, 8, 10}, {0, 0, 0, 0, 0});
+  auto j = eng.HashJoin(l, "k", r, "k");
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ(j.value().pairs.size(), 4u);  // keys 2,4,6,8
+  RowLocator ll(l), lr(r);
+  for (const auto& [a, b] : j.value().pairs) {
+    EXPECT_EQ(ll.Int("k", a), lr.Int("k", b));
+  }
+}
+
+TEST_F(EngineTest, HashJoinHandlesDuplicates) {
+  Engine eng = MakeEngine(2);
+  DistTable l = MakeKv(2, {7, 7, 7}, {1, 2, 3});
+  DistTable r = MakeKv(2, {7, 7}, {4, 5});
+  auto j = eng.HashJoin(l, "k", r, "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().pairs.size(), 6u);  // 3 x 2 cross product on key 7
+}
+
+TEST_F(EngineTest, HashJoinRejectsNegativeKeys) {
+  Engine eng = MakeEngine(2);
+  DistTable l = MakeKv(2, {-1, 2}, {0, 0});
+  DistTable r = MakeKv(2, {1, 2}, {0, 0});
+  EXPECT_FALSE(eng.HashJoin(l, "k", r, "k").ok());
+}
+
+TEST_F(EngineTest, MaterializeJoinGathersBothSides) {
+  Engine eng = MakeEngine(2);
+  DistTable l = MakeKv(2, {1, 2, 3}, {10, 20, 30});
+  DistTable r = MakeKv(2, {3, 2, 1}, {300, 200, 100});
+  auto j = eng.HashJoin(l, "k", r, "k");
+  ASSERT_TRUE(j.ok());
+  DistTable out = eng.MaterializeJoin(l, r, j.value().pairs, {"v"}, {"k"});
+  EXPECT_EQ(out.rows(), 3u);
+  // v (left) must be 10x the joined key.
+  RowLocator lo(out);
+  for (std::uint64_t i = 0; i < out.rows(); ++i) {
+    EXPECT_EQ(lo.Int("v", i), 10 * lo.Int("k", i));
+  }
+}
+
+TEST_F(EngineTest, ClockAdvancesMonotonically) {
+  Engine eng = MakeEngine(4);
+  const sim::SimTime t0 = eng.elapsed();
+  eng.ChargeScan({kMiB, kMiB, kMiB, kMiB});
+  const sim::SimTime t1 = eng.elapsed();
+  EXPECT_GT(t1, t0);
+  eng.ChargeGather({kMiB, kMiB, kMiB, kMiB});
+  const sim::SimTime t2 = eng.elapsed();
+  // Random gathers cost more than streaming scans, and cross the fabric.
+  EXPECT_GT(t2 - t1, t1 - t0);
+}
+
+TEST_F(EngineTest, VirtualScaleStretchesTheClock) {
+  EngineOptions big;
+  big.join.virtual_scale = 1000.0;
+  Engine e1(topo_.get(), topo::FirstNGpus(2), EngineOptions{});
+  Engine e2(topo_.get(), topo::FirstNGpus(2), big);
+  e1.ChargeScan({kMiB, kMiB});
+  e2.ChargeScan({kMiB, kMiB});
+  EXPECT_GT(e2.elapsed(), e1.elapsed());
+}
+
+}  // namespace
+}  // namespace mgjoin::exec

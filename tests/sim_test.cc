@@ -1,0 +1,90 @@
+// Unit tests for the discrete-event simulator.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mgjoin::sim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(FromSeconds(1.0), kSecond);
+  EXPECT_EQ(FromSeconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMillis(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMicros(kMicrosecond), 1.0);
+}
+
+TEST(SimTimeTest, TransferTime) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_EQ(TransferTime(1000000000ull, 1e9), kSecond);
+  // 2 MiB at 25 GB/s ~ 83.9 us.
+  const SimTime t = TransferTime(2 * 1024 * 1024, 25e9);
+  EXPECT_NEAR(ToMicros(t), 83.886, 0.01);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.Schedule(30, [&] { order.push_back(3); });
+  s.Schedule(10, [&] { order.push_back(1); });
+  s.Schedule(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.Schedule(1, chain);
+  };
+  s.Schedule(1, chain);
+  s.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.Now(), 100u);
+  EXPECT_EQ(s.events_processed(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.Schedule(static_cast<SimTime>(i) * 10, [&count] { ++count; });
+  }
+  s.RunUntil(55);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.Now(), 55u);
+  s.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.RunUntil(1000);
+  EXPECT_EQ(s.Now(), 1000u);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  SimTime seen = 0;
+  s.ScheduleAt(500, [&] { seen = s.Now(); });
+  s.Run();
+  EXPECT_EQ(seen, 500u);
+}
+
+}  // namespace
+}  // namespace mgjoin::sim

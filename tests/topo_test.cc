@@ -1,0 +1,311 @@
+// Tests for the interconnect fabric model: link curves, DGX presets,
+// channels, route enumeration and bisection bandwidth.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "topo/link.h"
+#include "topo/presets.h"
+#include "topo/topology.h"
+
+namespace mgjoin::topo {
+namespace {
+
+TEST(LinkTest, PeakBandwidths) {
+  EXPECT_DOUBLE_EQ(PeakBandwidth(LinkType::kNvLink1), 25e9);
+  EXPECT_DOUBLE_EQ(PeakBandwidth(LinkType::kNvLink2), 50e9);
+  EXPECT_DOUBLE_EQ(PeakBandwidth(LinkType::kPcie3), 16e9);
+  EXPECT_DOUBLE_EQ(PeakBandwidth(LinkType::kQpi), 38.4e9);  // dual links
+}
+
+TEST(LinkTest, EffectiveBandwidthMonotoneInSize) {
+  for (LinkType t : {LinkType::kNvLink1, LinkType::kNvLink2,
+                     LinkType::kPcie3, LinkType::kQpi}) {
+    double prev = 0;
+    for (std::uint64_t kb = 2; kb <= 16384; kb *= 2) {
+      const double bw = EffectiveBandwidth(t, kb * kKiB);
+      EXPECT_GE(bw, prev) << LinkTypeName(t) << " at " << kb << " KiB";
+      prev = bw;
+    }
+  }
+}
+
+TEST(LinkTest, SmallPacketsDegradeAsInFigure4) {
+  // Paper Fig 4: up to ~20x degradation at 2 KB vs saturation.
+  const double nv_sat = EffectiveBandwidth(LinkType::kNvLink1, 16 * kMiB);
+  const double nv_2k = EffectiveBandwidth(LinkType::kNvLink1, 2 * kKiB);
+  EXPECT_GT(nv_sat / nv_2k, 15.0);
+  EXPECT_LT(nv_sat / nv_2k, 25.0);
+
+  const double pc_sat = EffectiveBandwidth(LinkType::kPcie3, 16 * kMiB);
+  const double pc_2k = EffectiveBandwidth(LinkType::kPcie3, 2 * kKiB);
+  EXPECT_GT(pc_sat / pc_2k, 15.0);
+}
+
+TEST(LinkTest, SaturationNear12MB) {
+  // Performance "saturates around 12 MB": 12 MB is within 2% of 16 MB.
+  const double b12 = EffectiveBandwidth(LinkType::kNvLink1, 12 * kMiB);
+  const double b16 = EffectiveBandwidth(LinkType::kNvLink1, 16 * kMiB);
+  EXPECT_GT(b12 / b16, 0.98);
+}
+
+TEST(LinkTest, EffectiveNeverExceedsPeak) {
+  for (LinkType t : {LinkType::kNvLink1, LinkType::kNvLink2,
+                     LinkType::kPcie3, LinkType::kQpi}) {
+    for (std::uint64_t kb = 1; kb <= 65536; kb *= 2) {
+      EXPECT_LE(EffectiveBandwidth(t, kb * kKiB), PeakBandwidth(t) * 1.001);
+    }
+  }
+}
+
+class Dgx1Test : public ::testing::Test {
+ protected:
+  void SetUp() override { topo_ = MakeDgx1V(); }
+  std::unique_ptr<Topology> topo_;
+};
+
+TEST_F(Dgx1Test, Shape) {
+  EXPECT_EQ(topo_->num_gpus(), 8);
+  // 8 GPUs + 4 switches + 2 CPUs.
+  EXPECT_EQ(topo_->num_nodes(), 14);
+  // 16 NVLink + 8 GPU-switch + 4 switch-CPU + 1 QPI.
+  EXPECT_EQ(topo_->num_links(), 29);
+}
+
+TEST_F(Dgx1Test, EveryGpuHasSixNvLinkBricks) {
+  // V100: six 25 GB/s bricks per GPU; NV2 links consume two.
+  std::vector<int> bricks(8, 0);
+  for (const Link& l : topo_->links()) {
+    if (l.type != LinkType::kNvLink1 && l.type != LinkType::kNvLink2)
+      continue;
+    const int w = l.type == LinkType::kNvLink2 ? 2 : 1;
+    bricks[topo_->node(l.node_a).gpu_index] += w;
+    bricks[topo_->node(l.node_b).gpu_index] += w;
+  }
+  for (int g = 0; g < 8; ++g) EXPECT_EQ(bricks[g], 6) << "GPU " << g;
+}
+
+TEST_F(Dgx1Test, NvLinkAdjacencyMatchesCubeMesh) {
+  // Spot-check the hybrid cube mesh.
+  EXPECT_TRUE(topo_->HasNvLink(0, 1));
+  EXPECT_TRUE(topo_->HasNvLink(0, 4));
+  EXPECT_TRUE(topo_->HasNvLink(3, 7));
+  EXPECT_FALSE(topo_->HasNvLink(0, 5));
+  EXPECT_FALSE(topo_->HasNvLink(0, 6));
+  EXPECT_FALSE(topo_->HasNvLink(0, 7));
+  EXPECT_FALSE(topo_->HasNvLink(1, 4));
+  // Symmetry.
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(topo_->HasNvLink(a, b), topo_->HasNvLink(b, a));
+    }
+  }
+}
+
+TEST_F(Dgx1Test, CrossSocketPairsAreStaged) {
+  // 16 NVLink pairs out of 28; the remaining 12 are staged via host.
+  int nvlink = 0, staged = 0;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      const Channel& ch = topo_->channel(a, b);
+      if (ch.staged) {
+        ++staged;
+        EXPECT_GE(ch.path.size(), 4u);  // gpu-sw, sw-cpu, ..., sw-gpu
+        EXPECT_GE(ch.cpu_hops, 1);
+      } else {
+        ++nvlink;
+        EXPECT_EQ(ch.path.size(), 1u);
+      }
+    }
+  }
+  EXPECT_EQ(nvlink, 16);
+  EXPECT_EQ(staged, 12);
+}
+
+TEST_F(Dgx1Test, StagedChannelCrossSocketUsesQpi) {
+  const Channel& ch = topo_->channel(0, 7);
+  ASSERT_TRUE(ch.staged);
+  bool has_qpi = false;
+  for (const LinkDir& ld : ch.path) {
+    if (topo_->link(ld.link_id).type == LinkType::kQpi) has_qpi = true;
+  }
+  EXPECT_TRUE(has_qpi);
+  EXPECT_EQ(ch.cpu_hops, 2);
+}
+
+TEST_F(Dgx1Test, ChannelBandwidthOrdering) {
+  // NVLink channels beat staged channels at any packet size.
+  const Channel& nv = topo_->channel(0, 1);
+  const Channel& st = topo_->channel(0, 7);
+  for (std::uint64_t kb : {64u, 512u, 2048u, 16384u}) {
+    EXPECT_GT(topo_->ChannelEffectiveBandwidth(nv, kb * kKiB),
+              topo_->ChannelEffectiveBandwidth(st, kb * kKiB));
+  }
+  // NV2 beats NV1.
+  const Channel& nv2 = topo_->channel(0, 3);
+  EXPECT_GT(topo_->ChannelEffectiveBandwidth(nv2, 2 * kMiB),
+            topo_->ChannelEffectiveBandwidth(nv, 2 * kMiB));
+}
+
+TEST_F(Dgx1Test, StagedChannelLatencyIncludesStaging) {
+  const Channel& st = topo_->channel(0, 7);
+  EXPECT_GT(topo_->ChannelLatency(st),
+            2 * kStagingLatency);  // two CPU hops
+  const Channel& nv = topo_->channel(0, 1);
+  EXPECT_EQ(topo_->ChannelLatency(nv), LinkLatency(LinkType::kNvLink1));
+}
+
+TEST_F(Dgx1Test, RouteEnumerationIncludesDirectAndMultiHop) {
+  const auto& routes = topo_->EnumerateRoutes(0, 7, 3);
+  // The direct (staged) route must be present.
+  bool has_direct = false;
+  for (const Route& r : routes) {
+    if (r.hops() == 1) has_direct = true;
+    // All routes are simple paths from 0 to 7.
+    EXPECT_EQ(r.gpus.front(), 0);
+    EXPECT_EQ(r.gpus.back(), 7);
+    std::set<int> uniq(r.gpus.begin(), r.gpus.end());
+    EXPECT_EQ(uniq.size(), r.gpus.size());
+    EXPECT_LE(r.intermediates(), 3);
+  }
+  EXPECT_TRUE(has_direct);
+  // 0 and 7 have no NVLink; there are 2-hop NVLink routes, e.g. 0-3-7
+  // and 0-4-7.
+  bool has_037 = false, has_047 = false;
+  for (const Route& r : routes) {
+    if (r.gpus == std::vector<int>{0, 3, 7}) has_037 = true;
+    if (r.gpus == std::vector<int>{0, 4, 7}) has_047 = true;
+  }
+  EXPECT_TRUE(has_037);
+  EXPECT_TRUE(has_047);
+}
+
+TEST_F(Dgx1Test, MultiHopRoutesUseOnlyNvLinkHops) {
+  const auto& routes = topo_->EnumerateRoutes(1, 6, 3);
+  for (const Route& r : routes) {
+    if (r.hops() == 1) continue;
+    for (std::size_t i = 0; i + 1 < r.gpus.size(); ++i) {
+      EXPECT_TRUE(topo_->HasNvLink(r.gpus[i], r.gpus[i + 1]))
+          << r.ToString();
+    }
+  }
+}
+
+TEST_F(Dgx1Test, RouteEnumerationRespectsIntermediateCap) {
+  const auto& routes1 = topo_->EnumerateRoutes(0, 7, 1);
+  for (const Route& r : routes1) EXPECT_LE(r.intermediates(), 1);
+  const auto& routes3 = topo_->EnumerateRoutes(0, 7, 3);
+  EXPECT_GT(routes3.size(), routes1.size());
+}
+
+TEST_F(Dgx1Test, RouteEnumerationDeterministic) {
+  const auto& a = topo_->EnumerateRoutes(2, 5, 3);
+  const auto& b = topo_->EnumerateRoutes(2, 5, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(Dgx1Test, NvLinkPairDirectRouteIsSingleHop) {
+  const auto& routes = topo_->EnumerateRoutes(0, 1, 3);
+  EXPECT_EQ(routes.front().hops(), 1);
+  EXPECT_FALSE(topo_->channel(0, 1).staged);
+}
+
+TEST_F(Dgx1Test, BisectionBandwidthPositiveAndBounded) {
+  const auto gpus = AllGpus(*topo_);
+  const double bis = topo_->BisectionBandwidth(gpus);
+  EXPECT_GT(bis, 0);
+  // Upper bound: every NVLink plus host paths in both directions.
+  double total = 0;
+  for (const Link& l : topo_->links()) total += 2 * l.bandwidth();
+  EXPECT_LT(bis, total);
+}
+
+TEST_F(Dgx1Test, BisectionGrowsWithGpuCount) {
+  const double b4 = topo_->BisectionBandwidth({0, 1, 2, 3});
+  const double b8 = topo_->BisectionBandwidth(AllGpus(*topo_));
+  EXPECT_GT(b8, 0);
+  EXPECT_GT(b4, 0);
+  EXPECT_GE(b8, b4 * 0.9);  // more GPUs, at least comparable bisection
+}
+
+TEST_F(Dgx1Test, MinBisectionCutMarksCrossingLinks) {
+  const auto cut = topo_->MinBisectionCut(AllGpus(*topo_));
+  EXPECT_GT(cut.bandwidth, 0);
+  int crossing = 0;
+  for (bool c : cut.link_crossing) crossing += c;
+  EXPECT_GT(crossing, 0);
+  EXPECT_LT(crossing, topo_->num_links());
+}
+
+TEST_F(Dgx1Test, TwoGpuBisectionEqualsChannel) {
+  // For {0,1} the only bipartition is {0}|{1}: NVLink + host path.
+  const double bis = topo_->BisectionBandwidth({0, 1});
+  // One NV1 link (25 GB/s) both directions plus the shared PCIe switch
+  // path (bounded by 16 GB/s each way).
+  EXPECT_GT(bis, 2 * 25e9);
+  EXPECT_LE(bis, 2 * (25e9 + 16e9) + 1);
+}
+
+TEST(DgxStationTest, FullyConnected) {
+  auto topo = MakeDgxStation();
+  EXPECT_EQ(topo->num_gpus(), 4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) EXPECT_TRUE(topo->HasNvLink(a, b));
+    }
+  }
+}
+
+TEST(Dgx2Test, SixteenGpusFullyConnected) {
+  auto topo = topo::MakeDgx2();
+  EXPECT_EQ(topo->num_gpus(), 16);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      if (a != b) EXPECT_TRUE(topo->HasNvLink(a, b));
+    }
+  }
+  EXPECT_GT(topo->BisectionBandwidth(AllGpus(*topo)), 0);
+}
+
+TEST(SingleGpuTest, Degenerate) {
+  auto topo = MakeSingleGpu();
+  EXPECT_EQ(topo->num_gpus(), 1);
+}
+
+TEST(TopologyTest, FinalizeRejectsDisconnectedGpus) {
+  Topology t;
+  t.AddNode(NodeType::kGpu, 0, "GPU0");
+  t.AddNode(NodeType::kGpu, 0, "GPU1");
+  // No links at all.
+  EXPECT_FALSE(t.Finalize().ok());
+}
+
+TEST(TopologyTest, FinalizeRejectsEmpty) {
+  Topology t;
+  EXPECT_FALSE(t.Finalize().ok());
+}
+
+TEST(TopologyTest, CustomTwoGpuMachine) {
+  Topology t;
+  const int g0 = t.AddNode(NodeType::kGpu, 0, "GPU0");
+  const int g1 = t.AddNode(NodeType::kGpu, 0, "GPU1");
+  t.AddLink(g0, g1, LinkType::kNvLink2);
+  const int cpu = t.AddNode(NodeType::kCpu, 0, "CPU");
+  t.AddLink(g0, cpu, LinkType::kPcie3);
+  t.AddLink(g1, cpu, LinkType::kPcie3);
+  ASSERT_TRUE(t.Finalize().ok());
+  EXPECT_FALSE(t.channel(0, 1).staged);
+  EXPECT_EQ(t.EnumerateRoutes(0, 1).size(), 1u);
+}
+
+TEST(GpuSetTest, Helpers) {
+  auto topo = MakeDgx1V();
+  EXPECT_EQ(AllGpus(*topo).size(), 8u);
+  EXPECT_EQ(FirstNGpus(3), (GpuSet{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace mgjoin::topo
