@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_multihop.dir/bench_fig06_multihop.cc.o"
+  "CMakeFiles/bench_fig06_multihop.dir/bench_fig06_multihop.cc.o.d"
+  "bench_fig06_multihop"
+  "bench_fig06_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_adaptive.dir/bench_fig07_adaptive.cc.o"
+  "CMakeFiles/bench_fig07_adaptive.dir/bench_fig07_adaptive.cc.o.d"
+  "bench_fig07_adaptive"
+  "bench_fig07_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

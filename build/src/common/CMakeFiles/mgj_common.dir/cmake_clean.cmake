@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_common.dir/logging.cc.o"
+  "CMakeFiles/mgj_common.dir/logging.cc.o.d"
+  "CMakeFiles/mgj_common.dir/random.cc.o"
+  "CMakeFiles/mgj_common.dir/random.cc.o.d"
+  "CMakeFiles/mgj_common.dir/status.cc.o"
+  "CMakeFiles/mgj_common.dir/status.cc.o.d"
+  "CMakeFiles/mgj_common.dir/thread_pool.cc.o"
+  "CMakeFiles/mgj_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/mgj_common.dir/units.cc.o"
+  "CMakeFiles/mgj_common.dir/units.cc.o.d"
+  "libmgj_common.a"
+  "libmgj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_data.dir/compression.cc.o"
+  "CMakeFiles/mgj_data.dir/compression.cc.o.d"
+  "CMakeFiles/mgj_data.dir/generator.cc.o"
+  "CMakeFiles/mgj_data.dir/generator.cc.o.d"
+  "libmgj_data.a"
+  "libmgj_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

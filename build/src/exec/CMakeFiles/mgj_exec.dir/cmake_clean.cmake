@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_exec.dir/engine.cc.o"
+  "CMakeFiles/mgj_exec.dir/engine.cc.o.d"
+  "CMakeFiles/mgj_exec.dir/table.cc.o"
+  "CMakeFiles/mgj_exec.dir/table.cc.o.d"
+  "libmgj_exec.a"
+  "libmgj_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_gpusim.dir/kernel_model.cc.o"
+  "CMakeFiles/mgj_gpusim.dir/kernel_model.cc.o.d"
+  "libmgj_gpusim.a"
+  "libmgj_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

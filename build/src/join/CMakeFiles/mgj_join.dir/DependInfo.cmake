@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/histogram.cc" "src/join/CMakeFiles/mgj_join.dir/histogram.cc.o" "gcc" "src/join/CMakeFiles/mgj_join.dir/histogram.cc.o.d"
+  "/root/repo/src/join/local_join.cc" "src/join/CMakeFiles/mgj_join.dir/local_join.cc.o" "gcc" "src/join/CMakeFiles/mgj_join.dir/local_join.cc.o.d"
+  "/root/repo/src/join/mg_join.cc" "src/join/CMakeFiles/mgj_join.dir/mg_join.cc.o" "gcc" "src/join/CMakeFiles/mgj_join.dir/mg_join.cc.o.d"
+  "/root/repo/src/join/partition_assignment.cc" "src/join/CMakeFiles/mgj_join.dir/partition_assignment.cc.o" "gcc" "src/join/CMakeFiles/mgj_join.dir/partition_assignment.cc.o.d"
+  "/root/repo/src/join/shuffle.cc" "src/join/CMakeFiles/mgj_join.dir/shuffle.cc.o" "gcc" "src/join/CMakeFiles/mgj_join.dir/shuffle.cc.o.d"
+  "/root/repo/src/join/umj.cc" "src/join/CMakeFiles/mgj_join.dir/umj.cc.o" "gcc" "src/join/CMakeFiles/mgj_join.dir/umj.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mgj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mgj_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mgj_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mgj_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_join.dir/histogram.cc.o"
+  "CMakeFiles/mgj_join.dir/histogram.cc.o.d"
+  "CMakeFiles/mgj_join.dir/local_join.cc.o"
+  "CMakeFiles/mgj_join.dir/local_join.cc.o.d"
+  "CMakeFiles/mgj_join.dir/mg_join.cc.o"
+  "CMakeFiles/mgj_join.dir/mg_join.cc.o.d"
+  "CMakeFiles/mgj_join.dir/partition_assignment.cc.o"
+  "CMakeFiles/mgj_join.dir/partition_assignment.cc.o.d"
+  "CMakeFiles/mgj_join.dir/shuffle.cc.o"
+  "CMakeFiles/mgj_join.dir/shuffle.cc.o.d"
+  "CMakeFiles/mgj_join.dir/umj.cc.o"
+  "CMakeFiles/mgj_join.dir/umj.cc.o.d"
+  "libmgj_join.a"
+  "libmgj_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

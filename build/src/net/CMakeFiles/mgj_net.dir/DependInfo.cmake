@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link_state.cc" "src/net/CMakeFiles/mgj_net.dir/link_state.cc.o" "gcc" "src/net/CMakeFiles/mgj_net.dir/link_state.cc.o.d"
+  "/root/repo/src/net/routing_policy.cc" "src/net/CMakeFiles/mgj_net.dir/routing_policy.cc.o" "gcc" "src/net/CMakeFiles/mgj_net.dir/routing_policy.cc.o.d"
+  "/root/repo/src/net/transfer_engine.cc" "src/net/CMakeFiles/mgj_net.dir/transfer_engine.cc.o" "gcc" "src/net/CMakeFiles/mgj_net.dir/transfer_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mgj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mgj_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_net.dir/link_state.cc.o"
+  "CMakeFiles/mgj_net.dir/link_state.cc.o.d"
+  "CMakeFiles/mgj_net.dir/routing_policy.cc.o"
+  "CMakeFiles/mgj_net.dir/routing_policy.cc.o.d"
+  "CMakeFiles/mgj_net.dir/transfer_engine.cc.o"
+  "CMakeFiles/mgj_net.dir/transfer_engine.cc.o.d"
+  "libmgj_net.a"
+  "libmgj_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

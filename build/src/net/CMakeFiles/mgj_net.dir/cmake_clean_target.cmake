@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgj_net.a"
+)

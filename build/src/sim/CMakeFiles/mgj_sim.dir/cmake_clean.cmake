@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_sim.dir/simulator.cc.o"
+  "CMakeFiles/mgj_sim.dir/simulator.cc.o.d"
+  "libmgj_sim.a"
+  "libmgj_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

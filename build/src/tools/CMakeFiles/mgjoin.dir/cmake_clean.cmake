@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgjoin.dir/mgjoin_cli.cc.o"
+  "CMakeFiles/mgjoin.dir/mgjoin_cli.cc.o.d"
+  "mgjoin"
+  "mgjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

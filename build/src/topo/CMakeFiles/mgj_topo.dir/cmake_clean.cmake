@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_topo.dir/link.cc.o"
+  "CMakeFiles/mgj_topo.dir/link.cc.o.d"
+  "CMakeFiles/mgj_topo.dir/presets.cc.o"
+  "CMakeFiles/mgj_topo.dir/presets.cc.o.d"
+  "CMakeFiles/mgj_topo.dir/topology.cc.o"
+  "CMakeFiles/mgj_topo.dir/topology.cc.o.d"
+  "libmgj_topo.a"
+  "libmgj_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

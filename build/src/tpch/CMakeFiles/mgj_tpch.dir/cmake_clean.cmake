@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgj_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/mgj_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/mgj_tpch.dir/omnisci_model.cc.o"
+  "CMakeFiles/mgj_tpch.dir/omnisci_model.cc.o.d"
+  "CMakeFiles/mgj_tpch.dir/queries.cc.o"
+  "CMakeFiles/mgj_tpch.dir/queries.cc.o.d"
+  "libmgj_tpch.a"
+  "libmgj_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgj_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

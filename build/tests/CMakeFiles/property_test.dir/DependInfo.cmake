@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpch/CMakeFiles/mgj_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mgj_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/mgj_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mgj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mgj_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/mgj_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mgj_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mgj_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mgj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
