@@ -5,8 +5,13 @@
 // regenerates the series of one paper figure and prints a plain-text
 // table (series name, x, y) so results can be diffed against
 // EXPERIMENTS.md.
+//
+// Observability: setting MGJ_TRACE=<file> makes every join/distribution
+// run in the bench record into one Chrome trace, written at process
+// exit; MGJ_METRICS=1 prints the accumulated metrics registry at exit.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,10 +21,60 @@
 #include "join/umj.h"
 #include "net/routing_policy.h"
 #include "net/transfer_engine.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "topo/presets.h"
 
 namespace mgjoin::bench {
+
+/// Process-wide observability sinks driven by the environment (see file
+/// comment). The instance is a function-local static so the trace file
+/// is written when the bench exits normally.
+class EnvObs {
+ public:
+  static EnvObs& Instance() {
+    static EnvObs instance;
+    return instance;
+  }
+
+  /// Fills any unset hook in `options` from the environment-enabled
+  /// sinks. Explicit hooks set by the caller win.
+  void Attach(net::TransferOptions* options) {
+    if (options->obs.trace == nullptr && !trace_path_.empty()) {
+      options->obs.trace = &trace_;
+    }
+    if (options->obs.metrics == nullptr && metrics_enabled_) {
+      options->obs.metrics = &metrics_;
+    }
+  }
+
+ private:
+  EnvObs() {
+    const char* t = std::getenv("MGJ_TRACE");
+    if (t != nullptr && *t != '\0') trace_path_ = t;
+    const char* m = std::getenv("MGJ_METRICS");
+    metrics_enabled_ = m != nullptr && *m != '\0' && *m != '0';
+  }
+
+  ~EnvObs() {
+    if (!trace_path_.empty()) {
+      const Status st = trace_.WriteFile(trace_path_);
+      std::fprintf(stderr, "# MGJ_TRACE: %s (%zu events): %s\n",
+                   trace_path_.c_str(), trace_.num_events(),
+                   st.ok() ? "written" : st.ToString().c_str());
+    }
+    if (metrics_enabled_) {
+      std::fprintf(stderr, "# MGJ_METRICS\n%s",
+                   metrics_.Summary(metrics_window_).c_str());
+    }
+  }
+
+  std::string trace_path_;
+  bool metrics_enabled_ = false;
+  obs::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
+  sim::SimTime metrics_window_ = sim::kSecond;
+};
 
 /// Functional tuples per GPU per relation used by the join benches; the
 /// virtual scale below lifts the simulated inputs to the paper's 512M
@@ -49,6 +104,7 @@ inline join::JoinResult RunJoin(const topo::Topology* topo,
                                 join::MgJoinOptions opts,
                                 double virtual_scale = kPaperScale) {
   opts.virtual_scale = virtual_scale;
+  EnvObs::Instance().Attach(&opts.transfer);
   join::MgJoin j(topo, gpus, opts);
   return j.Execute(r, s).ValueOrDie();
 }
@@ -105,6 +161,7 @@ inline DistributionRun RunDistribution(const topo::Topology* topo,
                                        net::PolicyKind kind,
                                        net::TransferOptions options = {}) {
   sim::Simulator s;
+  EnvObs::Instance().Attach(&options);
   auto policy = net::MakePolicy(kind, options.max_intermediates);
   net::TransferEngine eng(&s, topo, gpus, policy.get(), options);
   for (const net::Flow& f : flows) eng.AddFlow(f);

@@ -7,6 +7,7 @@
 #include "gpusim/kernel_model.h"
 #include "join/histogram.h"
 #include "join/shuffle.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace mgjoin::join {
@@ -131,6 +132,21 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
   result.timing.global_partition =
       *std::max_element(gp_time.begin(), gp_time.end());
 
+  // Join-phase spans share the engine's trace so the fabric activity can
+  // be read against the phase it serves.
+  obs::TraceRecorder* tr = options_.transfer.obs.trace;
+  if (tr != nullptr) {
+    const int phases = tr->Track("join.phases");
+    tr->Span(phases, "join", "histogram", 0, hist_end);
+    tr->Span(phases, "join", "distribution", hist_end, dist_end,
+             {{"payload_bytes", result.net.payload_bytes},
+              {"wire_bytes", result.net.wire_bytes}});
+    for (int d = 0; d < g; ++d) {
+      tr->Span(tr->Track("join.gpu" + std::to_string(gpus_[d])), "join",
+               "global_partition", hist_end, hist_end + gp_time[d]);
+    }
+  }
+
   // ---- Phase 3 + 4: local partitioning and probe, per GPU.
   sim::SimTime join_end = hist_end;
   sim::SimTime nodist_end = hist_end;  // hypothetical zero-cost network
@@ -194,12 +210,24 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
     }
     join_end = std::max(join_end, probe_start + probe_t);
     nodist_end = std::max(nodist_end, compute_end + probe_t);
+    if (tr != nullptr) {
+      const int track = tr->Track("join.gpu" + std::to_string(gpus_[d]));
+      tr->Span(track, "join", "local_partition",
+               hist_end + gp_time[d], compute_end);
+      tr->Span(track, "join", "probe", probe_start, probe_start + probe_t,
+               {{"recv_tuples", recv_r + recv_s}});
+    }
   }
   result.timing.local_partition = lp_max;
   result.timing.probe = probe_max;
   result.timing.total = join_end;
   result.timing.distribution_exposed =
       join_end > nodist_end ? join_end - nodist_end : 0;
+  if (tr != nullptr) {
+    tr->Span(tr->Track("join.phases"), "join", "join_total", 0, join_end,
+             {{"matches", result.matches},
+              {"input_tuples", result.input_tuples}});
+  }
   return result;
 }
 

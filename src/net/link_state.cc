@@ -9,9 +9,29 @@
 namespace mgjoin::net {
 
 LinkStateTable::LinkStateTable(sim::Simulator* sim,
-                               const topo::Topology* topo)
-    : sim_(sim), topo_(topo) {
+                               const topo::Topology* topo,
+                               obs::ObsHooks hooks)
+    : sim_(sim), topo_(topo), hooks_(hooks) {
   dirs_.resize(static_cast<std::size_t>(topo->num_links()) * 2);
+  dir_tracks_.assign(dirs_.size(), -1);
+}
+
+std::string LinkStateTable::DirName(topo::LinkDir ld) const {
+  return "link." + topo_->link(ld.link_id).ToString() +
+         (ld.dir == 0 ? ".fwd" : ".rev");
+}
+
+void LinkStateTable::RecordLeg(topo::LinkDir ld, sim::SimTime start,
+                               sim::SimTime end, std::uint64_t bytes) {
+  if (hooks_.trace != nullptr) {
+    int& track = dir_tracks_[Index(ld)];
+    if (track < 0) track = hooks_.trace->Track(DirName(ld));
+    hooks_.trace->Span(track, "link", "xfer", start, end,
+                       {{"bytes", bytes}});
+  }
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->timeline(DirName(ld)).AddBusy(start, end);
+  }
 }
 
 sim::SimTime LinkStateTable::Now() const { return sim_->Now(); }
@@ -40,6 +60,7 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
     st.next_free = leg_end;
     st.busy += d;
     st.bytes += bytes;
+    RecordLeg(ld, leg_start, leg_end, bytes);
     MaybePublish(ld);
     if (i == 0) {
       start = leg_start;

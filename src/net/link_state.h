@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "topo/link.h"
 #include "topo/topology.h"
@@ -29,7 +30,12 @@ class LinkStateTable {
     sim::SimTime deliver;  ///< when the payload lands at the receiver
   };
 
-  LinkStateTable(sim::Simulator* sim, const topo::Topology* topo);
+  /// `hooks` is optional: an attached trace recorder receives one
+  /// occupancy span per physical link direction per reservation leg; an
+  /// attached metrics registry accumulates per-link busy timelines
+  /// ("link.<name>.fwd|rev").
+  LinkStateTable(sim::Simulator* sim, const topo::Topology* topo,
+                 obs::ObsHooks hooks = {});
 
   /// \brief Reserves every physical link of `ch` for one transfer of
   /// `bytes`, no earlier than the simulator's current time.
@@ -76,9 +82,15 @@ class LinkStateTable {
   }
   void MaybePublish(topo::LinkDir ld);
   double links_eff_bw_(topo::LinkDir ld, std::uint64_t bytes) const;
+  /// Human-readable name of a link direction ("PCIe3(8<->10).fwd").
+  std::string DirName(topo::LinkDir ld) const;
+  void RecordLeg(topo::LinkDir ld, sim::SimTime start, sim::SimTime end,
+                 std::uint64_t bytes);
 
   sim::Simulator* sim_;
   const topo::Topology* topo_;
+  obs::ObsHooks hooks_;
+  std::vector<int> dir_tracks_;  // lazily assigned trace track ids
   std::vector<DirState> dirs_;
   std::uint64_t broadcasts_ = 0;
 

@@ -17,7 +17,8 @@ TransferEngine::TransferEngine(sim::Simulator* sim,
       gpus_(std::move(gpus)),
       policy_(policy),
       options_(options),
-      links_(sim, topo) {
+      obs_(options.obs),
+      links_(sim, topo, options.obs) {
   MGJ_CHECK(!gpus_.empty());
   MGJ_CHECK(options_.packet_bytes > 0);
   MGJ_CHECK(options_.batch_packets > 0);
@@ -31,12 +32,106 @@ TransferEngine::TransferEngine(sim::Simulator* sim,
   for (int g : gpus_) mask[g] = true;
   policy_->SetParticipants(std::move(mask));
   gpu_states_.resize(gpus_.size());
+  for (GpuState& gs : gpu_states_) {
+    gs.engine_busy.assign(options_.dma_engines, 0);
+  }
   rings_.resize(gpus_.size() * gpus_.size());
   // At least two slots: one general plus the reserved last-hop slot.
   const int slots = static_cast<int>(
       std::max<std::uint64_t>(2, options_.ring_buffer_bytes /
                                      options_.packet_bytes));
   for (RingLink& r : rings_) r.slots = slots;
+  dma_tracks_.assign(gpus_.size() * options_.dma_engines, -1);
+  if (obs_.auditor == nullptr) {
+    owned_auditor_ = std::make_unique<obs::InvariantAuditor>();
+    obs_.auditor = owned_auditor_.get();
+  }
+  RegisterAuditorChecks();
+}
+
+void TransferEngine::RegisterAuditorChecks() {
+  obs::InvariantAuditor* a = obs_.auditor;
+  a->set_dump_fn([this] { return DebugDump(); });
+  a->set_done_fn([this] { return AllDone(); });
+  a->set_progress_fn([this] {
+    // Any of these moving means the fabric is not wedged.
+    return stats_.payload_bytes + stats_.packet_hops + stats_.escapes;
+  });
+  a->AddCheck("ring_slot_accounting", [this]() -> std::string {
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+      for (std::size_t j = 0; j < gpus_.size(); ++j) {
+        const RingLink& rl = rings_[i * gpus_.size() + j];
+        if (rl.freed > rl.claimed) {
+          return "ring[recv=" + std::to_string(gpus_[i]) + ",up=" +
+                 std::to_string(gpus_[j]) +
+                 "] freed " + std::to_string(rl.freed) + " > claimed " +
+                 std::to_string(rl.claimed);
+        }
+        if (rl.claimed - rl.freed >
+            static_cast<std::uint64_t>(rl.slots)) {
+          return "ring[recv=" + std::to_string(gpus_[i]) + ",up=" +
+                 std::to_string(gpus_[j]) + "] overclaimed: " +
+                 std::to_string(rl.claimed - rl.freed) + " in flight > " +
+                 std::to_string(rl.slots) + " slots";
+        }
+        if (rl.freed_view > rl.freed) {
+          return "ring[recv=" + std::to_string(gpus_[i]) + ",up=" +
+                 std::to_string(gpus_[j]) + "] freed_view " +
+                 std::to_string(rl.freed_view) + " ahead of freed " +
+                 std::to_string(rl.freed);
+        }
+      }
+    }
+    return "";
+  });
+  a->AddCheck("payload_conservation", [this]() -> std::string {
+    std::uint64_t registered = 0;
+    for (const auto& [id, bytes] : flow_bytes_) registered += bytes;
+    if (stats_.payload_bytes + pending_payload_ != registered) {
+      return "delivered " + std::to_string(stats_.payload_bytes) +
+             " + pending " + std::to_string(pending_payload_) +
+             " != registered " + std::to_string(registered);
+    }
+    for (const auto& [id, bytes] : delivered_per_flow_) {
+      const auto it = flow_bytes_.find(id);
+      if (it == flow_bytes_.end()) {
+        return "delivery for unknown flow " + std::to_string(id);
+      }
+      if (bytes > it->second) {
+        return "flow " + std::to_string(id) + " overdelivered: " +
+               std::to_string(bytes) + " > " + std::to_string(it->second);
+      }
+    }
+    return "";
+  });
+  a->AddCheck("wire_at_least_payload", [this]() -> std::string {
+    if (stats_.wire_bytes < stats_.payload_bytes) {
+      return "wire_bytes " + std::to_string(stats_.wire_bytes) +
+             " < payload_bytes " + std::to_string(stats_.payload_bytes);
+    }
+    return "";
+  });
+}
+
+void TransferEngine::MetricAdd(const char* name, std::uint64_t n) {
+  if (obs_.metrics != nullptr) obs_.metrics->counter(name).Add(n);
+}
+
+int TransferEngine::DmaTrack(int gpu, int slot) {
+  int& track =
+      dma_tracks_[static_cast<std::size_t>(dense_[gpu]) *
+                      options_.dma_engines +
+                  slot];
+  if (track < 0) {
+    track = obs_.trace->Track("gpu" + std::to_string(gpu) + ".dma" +
+                              std::to_string(slot));
+  }
+  return track;
+}
+
+void TransferEngine::CorruptRingForTest(int receiver, int upstream,
+                                        std::uint64_t extra_claims) {
+  ring(receiver, upstream).claimed += extra_claims;
 }
 
 void TransferEngine::AddFlow(const Flow& flow) {
@@ -45,6 +140,8 @@ void TransferEngine::AddFlow(const Flow& flow) {
   MGJ_CHECK(dense_[flow.src_gpu] >= 0 && dense_[flow.dst_gpu] >= 0)
       << "flow endpoints must participate";
   if (flow.bytes == 0) return;
+  MGJ_CHECK(flow_bytes_.emplace(flow.id, flow.bytes).second)
+      << "duplicate flow id " << flow.id;
   flows_.push_back(flow);
   pending_payload_ += flow.bytes;
 }
@@ -52,6 +149,7 @@ void TransferEngine::AddFlow(const Flow& flow) {
 void TransferEngine::Start() {
   MGJ_CHECK(!started_);
   started_ = true;
+  if (!flows_.empty()) obs_.auditor->StartWatchdog(sim_);
   stats_.first_available =
       flows_.empty() ? sim_->Now()
                      : std::numeric_limits<sim::SimTime>::max();
@@ -100,6 +198,9 @@ void TransferEngine::InjectPackets(const Flow& flow,
     p.hop = 0;
     // Route assigned when the batch is formed.
     queue.push_back(QueuedPacket{p, -1});
+  }
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->gauge("net.src_queue_depth").Set(queue.size());
   }
   TryStartSends(flow.src_gpu);
 }
@@ -190,6 +291,10 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
   }
   rl.claimed += batch.size();
   rl.failed_polls = 0;  // the ring made progress
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->gauge("net.ring_occupancy")
+        .Set(rl.claimed - rl.freed);
+  }
   SendBatch(gpu, std::move(batch), route);
   return true;
 }
@@ -199,6 +304,16 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
   GpuState& gs = gpu_state(gpu);
   ++gs.busy_engines;
   ++stats_.batches;
+  MetricAdd("net.batches", 1);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->histogram("net.batch_packets").Observe(batch.size());
+  }
+  // Pin the batch to a DMA engine slot so its busy span lands on a
+  // stable per-engine trace track.
+  int slot = 0;
+  while (slot < options_.dma_engines && gs.engine_busy[slot]) ++slot;
+  MGJ_CHECK(slot < options_.dma_engines);
+  gs.engine_busy[slot] = 1;
 
   sim::SimTime start_at = sim_->Now() + options_.batch_overhead;
   if (policy_->SerializesGlobally() && !options_.zero_control_overhead) {
@@ -213,16 +328,19 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
 
   const int hop_index = batch.front().packet.hop;
   const int next = route.gpus[hop_index + 1];
-  sim_->ScheduleAt(start_at, [this, gpu, next,
+  sim_->ScheduleAt(start_at, [this, gpu, next, slot,
                               batch = std::move(batch)]() mutable {
     const topo::Channel& ch = topo_->channel(gpu, next);
-    sim::SimTime engine_free = sim_->Now();
+    const sim::SimTime send_start = sim_->Now();
+    sim::SimTime engine_free = send_start;
     for (QueuedPacket& qp : batch) {
       const LinkStateTable::Reservation res =
           links_.ReserveChannel(ch, qp.packet.wire_bytes());
       engine_free = res.end;
       ++stats_.packet_hops;
       stats_.wire_bytes += qp.packet.payload_bytes;
+      MetricAdd("net.packet_hops", 1);
+      MetricAdd("net.wire_bytes", qp.packet.payload_bytes);
       // Transit packets release their upstream ring slot once the data
       // has left this GPU.
       if (qp.slot_upstream >= 0) {
@@ -236,19 +354,33 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
         HandleArrival(std::move(delivered), gpu);
       });
     }
-    sim_->ScheduleAt(engine_free, [this, gpu] {
-      --gpu_state(gpu).busy_engines;
+    if (obs_.trace != nullptr) {
+      obs_.trace->Span(DmaTrack(gpu, slot), "net", "batch", send_start,
+                       engine_free,
+                       {{"dst", static_cast<std::uint64_t>(next)},
+                        {"packets", batch.size()},
+                        {"flow", batch.front().packet.flow_id}});
+    }
+    sim_->ScheduleAt(engine_free, [this, gpu, slot] {
+      GpuState& gs = gpu_state(gpu);
+      --gs.busy_engines;
+      gs.engine_busy[slot] = 0;
       TryStartSends(gpu);
     });
   });
 }
 
 void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
+  obs_.auditor->ObserveTime(sim_->Now());
+  obs_.auditor->Poke();
   const int here = packet.route.gpus[packet.hop + 1];
   if (here == packet.final_dst()) {
     ++stats_.packets;
     ++packet.hop;  // count the completed hop
     stats_.payload_bytes += packet.payload_bytes;
+    delivered_per_flow_[packet.flow_id] += packet.payload_bytes;
+    MetricAdd("net.packets", 1);
+    MetricAdd("net.payload_bytes", packet.payload_bytes);
     MGJ_CHECK(pending_payload_ >= packet.payload_bytes);
     pending_payload_ -= packet.payload_bytes;
     stats_.last_delivery = std::max(stats_.last_delivery, sim_->Now());
@@ -265,8 +397,11 @@ void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
   // transmitted onward.
   ++packet.hop;
   GpuState& gs = gpu_state(here);
-  gs.queues[QueueKey{true, packet.next_gpu()}].push_back(
-      QueuedPacket{std::move(packet), from_gpu});
+  auto& queue = gs.queues[QueueKey{true, packet.next_gpu()}];
+  queue.push_back(QueuedPacket{std::move(packet), from_gpu});
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->gauge("net.transit_queue_depth").Set(queue.size());
+  }
   TryStartSends(here);
 }
 
@@ -274,6 +409,7 @@ void TransferEngine::FreeRingSlot(int receiver, int upstream) {
   RingLink& rl = ring(receiver, upstream);
   ++rl.freed;
   MGJ_CHECK(rl.freed <= rl.claimed);
+  obs_.auditor->Poke();
 }
 
 void TransferEngine::StartRingSync(int receiver, int upstream) {
@@ -281,6 +417,13 @@ void TransferEngine::StartRingSync(int receiver, int upstream) {
   if (rl.sync_pending) return;
   rl.sync_pending = true;
   ++stats_.ring_syncs;
+  MetricAdd("net.ring_syncs", 1);
+  if (obs_.trace != nullptr) {
+    if (ring_track_ < 0) ring_track_ = obs_.trace->Track("net.rings");
+    obs_.trace->Instant(ring_track_, "ring", "sync", sim_->Now(),
+                        {{"recv", static_cast<std::uint64_t>(receiver)},
+                         {"up", static_cast<std::uint64_t>(upstream)}});
+  }
   const sim::SimTime cost =
       2 * topo_->ChannelLatency(topo_->channel(upstream, receiver)) +
       2 * sim::kMicrosecond;
@@ -360,6 +503,7 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
   auto it = gs.queues.find(QueueKey{true, receiver});
   if (it == gs.queues.end()) return;
   std::deque<QueuedPacket> keep;
+  std::uint64_t moved = 0;
   for (QueuedPacket& qp : it->second) {
     const int dst = qp.packet.final_dst();
     if (dst == receiver) {
@@ -367,11 +511,23 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
       continue;
     }
     ++stats_.escapes;
+    ++moved;
     qp.packet.route = topo::Route{{sender, dst}};
     qp.packet.hop = 0;
     gs.queues[QueueKey{true, dst}].push_back(std::move(qp));
   }
   it->second = std::move(keep);
+  if (moved > 0) {
+    MetricAdd("net.escapes", moved);
+    if (obs_.trace != nullptr) {
+      if (ring_track_ < 0) ring_track_ = obs_.trace->Track("net.rings");
+      obs_.trace->Instant(
+          ring_track_, "ring", "escape", sim_->Now(),
+          {{"sender", static_cast<std::uint64_t>(sender)},
+           {"blocked_recv", static_cast<std::uint64_t>(receiver)},
+           {"packets", moved}});
+    }
+  }
   TryStartSends(sender);
 }
 

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "net/link_state.h"
+#include "obs/obs.h"
 #include "net/packet.h"
 #include "net/routing_policy.h"
 #include "sim/simulator.h"
@@ -44,6 +45,10 @@ struct TransferOptions {
   /// For the Figure 10 breakdown: measure the centralized baseline's pure
   /// data-transfer cost by zeroing its per-batch barrier.
   bool zero_control_overhead = false;
+  /// Observability sinks (see obs/obs.h). Null trace/metrics pointers
+  /// disable those sinks; a null auditor makes the engine run its own
+  /// default one (sampled invariant checks + deadlock watchdog stay on).
+  obs::ObsHooks obs;
 };
 
 /// Aggregate outcome of one data-distribution run.
@@ -134,6 +139,16 @@ class TransferEngine {
   const TransferOptions& options() const { return options_; }
   const std::vector<int>& gpus() const { return gpus_; }
 
+  /// The auditor watching this engine — the one passed in via
+  /// TransferOptions::obs, or the engine-owned default. Never null.
+  obs::InvariantAuditor& auditor() { return *obs_.auditor; }
+
+  /// Test-only: deliberately overclaims ring slots at (receiver,
+  /// upstream) so tests can prove the auditor detects corrupted
+  /// accounting. Never call outside tests.
+  void CorruptRingForTest(int receiver, int upstream,
+                          std::uint64_t extra_claims);
+
  private:
   // Key of a sender-side outgoing queue: transit queues are per next-hop
   // GPU (route already fixed); source queues are per final destination
@@ -173,6 +188,9 @@ class TransferEngine {
   struct GpuState {
     std::map<QueueKey, std::deque<QueuedPacket>> queues;
     int busy_engines = 0;
+    /// Which DMA engines are mid-batch; slots give each engine a stable
+    /// identity so its busy spans land on one trace track.
+    std::vector<char> engine_busy;
   };
 
   GpuState& gpu_state(int gpu) { return gpu_states_[dense_[gpu]]; }
@@ -180,6 +198,9 @@ class TransferEngine {
     return rings_[dense_[receiver] * gpus_.size() + dense_[upstream]];
   }
 
+  void RegisterAuditorChecks();
+  void MetricAdd(const char* name, std::uint64_t n);
+  int DmaTrack(int gpu, int slot);
   void InjectPackets(const Flow& flow, std::uint64_t first_packet,
                      std::uint64_t num_packets);
   void TryStartSends(int gpu);
@@ -198,11 +219,17 @@ class TransferEngine {
   std::vector<int> dense_;  // gpu index -> position in gpus_
   RoutingPolicy* policy_;
   TransferOptions options_;
+  obs::ObsHooks obs_;
+  std::unique_ptr<obs::InvariantAuditor> owned_auditor_;
   LinkStateTable links_;
 
   std::vector<Flow> flows_;
   std::vector<GpuState> gpu_states_;
   std::vector<RingLink> rings_;
+  std::vector<int> dma_tracks_;  // gpu-dense * dma_engines + slot
+  int ring_track_ = -1;
+  std::map<std::uint64_t, std::uint64_t> flow_bytes_;
+  std::map<std::uint64_t, std::uint64_t> delivered_per_flow_;
   DeliverCallback deliver_cb_;
 
   bool started_ = false;

@@ -1,0 +1,90 @@
+#include "obs/audit.h"
+
+#include "common/logging.h"
+
+namespace mgjoin::obs {
+
+void InvariantAuditor::AddCheck(std::string name, Check check) {
+  checks_.push_back(NamedCheck{std::move(name), std::move(check)});
+}
+
+void InvariantAuditor::Poke() {
+  if (!options_.enabled) return;
+  ++pokes_;
+  if (options_.sample_every > 0 &&
+      pokes_ % static_cast<std::uint64_t>(options_.sample_every) == 0) {
+    RunChecks();
+  }
+}
+
+bool InvariantAuditor::RunChecks() {
+  if (!options_.enabled) return true;
+  bool all_ok = true;
+  for (const NamedCheck& c : checks_) {
+    ++checks_run_;
+    std::string violation = c.fn();
+    if (!violation.empty()) {
+      all_ok = false;
+      Fail("invariant '" + c.name + "' violated: " + violation);
+    }
+  }
+  return all_ok;
+}
+
+void InvariantAuditor::ObserveTime(sim::SimTime now) {
+  if (!options_.enabled) return;
+  if (now < last_observed_time_) {
+    Fail("sim clock moved backwards: " + std::to_string(now) + " < " +
+         std::to_string(last_observed_time_));
+    return;
+  }
+  last_observed_time_ = now;
+}
+
+void InvariantAuditor::StartWatchdog(sim::Simulator* sim) {
+  if (!options_.enabled || watchdog_armed_) return;
+  watchdog_armed_ = true;
+  last_progress_ = progress_fn_ ? progress_fn_() : 0;
+  stalled_ticks_ = 0;
+  sim->Schedule(options_.watchdog_interval,
+                [this, sim] { WatchdogTick(sim); });
+}
+
+void InvariantAuditor::WatchdogTick(sim::Simulator* sim) {
+  ObserveTime(sim->Now());
+  RunChecks();
+  if (done_fn_ && done_fn_()) {
+    // Run complete: disarm so the queue can drain and a later Start()
+    // (a second engine on the same simulator) can re-arm.
+    watchdog_armed_ = false;
+    return;
+  }
+  const std::uint64_t progress = progress_fn_ ? progress_fn_() : 0;
+  if (progress != last_progress_) {
+    last_progress_ = progress;
+    stalled_ticks_ = 0;
+  } else if (++stalled_ticks_ >= options_.watchdog_limit) {
+    watchdog_armed_ = false;
+    Fail("no progress for " + std::to_string(stalled_ticks_) +
+         " watchdog ticks (" +
+         std::to_string(sim::ToMillis(options_.watchdog_interval *
+                                      stalled_ticks_)) +
+         " ms of sim time) and not done: likely deadlock");
+    return;
+  }
+  sim->Schedule(options_.watchdog_interval,
+                [this, sim] { WatchdogTick(sim); });
+}
+
+void InvariantAuditor::Fail(const std::string& what) {
+  ++violations_;
+  std::string report = "InvariantAuditor: " + what;
+  if (dump_fn_) report += "\n" + dump_fn_();
+  if (failure_handler_) {
+    failure_handler_(report);
+    return;
+  }
+  MGJ_LOG(Fatal) << report;
+}
+
+}  // namespace mgjoin::obs

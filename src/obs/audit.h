@@ -1,0 +1,124 @@
+#ifndef MGJOIN_OBS_AUDIT_H_
+#define MGJOIN_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mgjoin::obs {
+
+/// Knobs of the continuous invariant auditor.
+struct AuditOptions {
+  /// Master switch. Disabled auditors make every entry point a no-op.
+  bool enabled = true;
+  /// Poke() runs the full check set every `sample_every` calls; hot
+  /// paths stay cheap while violations are still caught within a few
+  /// dozen events of their introduction.
+  int sample_every = 64;
+  /// Sim-time interval between watchdog ticks.
+  sim::SimTime watchdog_interval = 50 * sim::kMillisecond;
+  /// Consecutive no-progress watchdog ticks before declaring deadlock.
+  int watchdog_limit = 20;
+};
+
+/// \brief Continuously audits a simulation component's internal
+/// accounting and fails fast — with the component's debug dump — instead
+/// of letting a bookkeeping bug surface as a silent hang or a skewed
+/// result.
+///
+/// The auditor is generic: components register named check functions
+/// (each returns an empty string when the invariant holds, or a
+/// description of the violation), a progress counter, a completion
+/// predicate and a dump renderer. Three entry points drive it:
+///
+///  - Poke(): sampled hot-path hook — every Nth call runs all checks.
+///  - ObserveTime(t): O(1) monotonic-clock assertion.
+///  - StartWatchdog(sim): schedules a periodic event that re-runs the
+///    checks and fails if the progress counter stalls for
+///    `watchdog_limit` consecutive ticks while the component is not
+///    done (the no-progress deadlock detector). The watchdog stops
+///    rescheduling itself once the component reports done, so it never
+///    keeps the event queue alive after a completed run.
+///
+/// By default a violation logs the dump and aborts (these invariants
+/// guard the simulator's correctness, like MGJ_CHECK). Tests install a
+/// failure handler to capture violations instead.
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditOptions options = {})
+      : options_(options) {}
+
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  /// A check returns "" when the invariant holds.
+  using Check = std::function<std::string()>;
+
+  void AddCheck(std::string name, Check check);
+
+  /// Monotonic counter of forward progress (bytes delivered, hops
+  /// taken, ...). Sampled by the watchdog.
+  void set_progress_fn(std::function<std::uint64_t()> fn) {
+    progress_fn_ = std::move(fn);
+  }
+  /// True once the audited component has finished its work.
+  void set_done_fn(std::function<bool()> fn) { done_fn_ = std::move(fn); }
+  /// Renders component state for the failure report.
+  void set_dump_fn(std::function<std::string()> fn) {
+    dump_fn_ = std::move(fn);
+  }
+  /// Replaces the default log-and-abort violation behaviour (tests).
+  void set_failure_handler(std::function<void(const std::string&)> fn) {
+    failure_handler_ = std::move(fn);
+  }
+
+  /// Sampled hot-path hook; see class comment.
+  void Poke();
+
+  /// Runs every registered check now. Returns true when all pass.
+  bool RunChecks();
+
+  /// O(1): asserts the observed clock never moves backwards.
+  void ObserveTime(sim::SimTime now);
+
+  /// Arms the periodic watchdog on `sim`. Call after the component has
+  /// scheduled its initial work.
+  void StartWatchdog(sim::Simulator* sim);
+
+  bool enabled() const { return options_.enabled; }
+  std::uint64_t pokes() const { return pokes_; }
+  std::uint64_t checks_run() const { return checks_run_; }
+  std::uint64_t violations() const { return violations_; }
+  const AuditOptions& options() const { return options_; }
+
+ private:
+  struct NamedCheck {
+    std::string name;
+    Check fn;
+  };
+
+  void WatchdogTick(sim::Simulator* sim);
+  void Fail(const std::string& what);
+
+  AuditOptions options_;
+  std::vector<NamedCheck> checks_;
+  std::function<std::uint64_t()> progress_fn_;
+  std::function<bool()> done_fn_;
+  std::function<std::string()> dump_fn_;
+  std::function<void(const std::string&)> failure_handler_;
+
+  std::uint64_t pokes_ = 0;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t violations_ = 0;
+  sim::SimTime last_observed_time_ = 0;
+  bool watchdog_armed_ = false;
+  std::uint64_t last_progress_ = 0;
+  int stalled_ticks_ = 0;
+};
+
+}  // namespace mgjoin::obs
+
+#endif  // MGJOIN_OBS_AUDIT_H_

@@ -1,0 +1,147 @@
+#ifndef MGJOIN_OBS_METRICS_H_
+#define MGJOIN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mgjoin::obs {
+
+/// Monotonic event/byte counter.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level with a high-water mark (queue depths, ring
+/// occupancy). `Set` moves the level; the high-water mark only grows.
+class Gauge {
+ public:
+  void Set(std::uint64_t v) {
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  std::uint64_t value() const { return value_; }
+  std::uint64_t high_water() const { return high_water_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint64_t high_water_ = 0;
+};
+
+/// Power-of-two bucketed histogram (bucket i counts values in
+/// [2^(i-1), 2^i), bucket 0 counts zeros and ones).
+class Histogram {
+ public:
+  void Observe(std::uint64_t v);
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// \brief Busy-time timeline of one resource (a link direction, a DMA
+/// engine): total busy time plus a fixed-width binned profile, so the
+/// end-of-run summary can show *when* a link was hot, not only how hot
+/// on average.
+class Timeline {
+ public:
+  /// `bin_width` controls the profile resolution (default 1 ms of sim
+  /// time per bin).
+  explicit Timeline(sim::SimTime bin_width = sim::kMillisecond)
+      : bin_width_(bin_width) {}
+
+  /// Accumulates a busy interval [start, end). Intervals may be added
+  /// out of order and may overlap bins arbitrarily.
+  void AddBusy(sim::SimTime start, sim::SimTime end);
+
+  sim::SimTime busy() const { return busy_; }
+  sim::SimTime last_end() const { return last_end_; }
+
+  /// busy-time / window, clamped to [0, 1] only by the caller's choice
+  /// of window (overlapping reservations can exceed 1).
+  double Utilization(sim::SimTime window) const {
+    return window == 0 ? 0.0
+                       : static_cast<double>(busy_) /
+                             static_cast<double>(window);
+  }
+
+  /// Per-bin utilization in [0,1]; bin i covers
+  /// [i*bin_width, (i+1)*bin_width).
+  std::vector<double> Profile() const;
+
+  /// Compact ASCII profile ("0123456789X" utilization deciles per
+  /// column), downsampled to at most `max_cols` columns.
+  std::string Sparkline(std::size_t max_cols = 60) const;
+
+ private:
+  sim::SimTime bin_width_;
+  sim::SimTime busy_ = 0;
+  sim::SimTime last_end_ = 0;
+  std::vector<sim::SimTime> bins_;
+};
+
+/// \brief Registry of named metrics. Names are hierarchical by
+/// convention ("net.packets", "link.NVLink1:0-1.fwd"); the summary is
+/// sorted by name so output is deterministic.
+///
+/// Lookups create the metric on first use. The registry is not
+/// synchronized: the simulator is single-threaded and so are all
+/// producers.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Timeline& timeline(const std::string& name) { return timelines_[name]; }
+
+  const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, Timeline>& timelines() const {
+    return timelines_;
+  }
+
+  /// True if `name` exists (lookup without creating).
+  bool HasCounter(const std::string& name) const {
+    return counters_.count(name) > 0;
+  }
+
+  /// Renders every metric; timeline utilizations are relative to
+  /// `window` (pass the run's makespan).
+  std::string Summary(sim::SimTime window) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Timeline> timelines_;
+};
+
+}  // namespace mgjoin::obs
+
+#endif  // MGJOIN_OBS_METRICS_H_

@@ -1,0 +1,26 @@
+#ifndef MGJOIN_OBS_OBS_H_
+#define MGJOIN_OBS_OBS_H_
+
+#include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mgjoin::obs {
+
+/// \brief Non-owning bundle of observability sinks threaded through the
+/// engine layers (net, join, tools, bench).
+///
+/// Every member is optional: a null trace/metrics pointer disables that
+/// sink at zero cost. A null auditor tells the component to run its own
+/// default auditor (cheap sampled checks stay on even when nobody wired
+/// observability explicitly); pass an external auditor to observe or
+/// capture violations. All pointees must outlive the component.
+struct ObsHooks {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  InvariantAuditor* auditor = nullptr;
+};
+
+}  // namespace mgjoin::obs
+
+#endif  // MGJOIN_OBS_OBS_H_

@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+
+namespace mgjoin::obs {
+
+namespace {
+
+/// Chrome traces use microsecond timestamps; SimTime is picoseconds.
+/// Emitting fixed-point microseconds with 6 decimals preserves the full
+/// picosecond resolution and keeps the output byte-deterministic (no
+/// double formatting is involved).
+void AppendMicros(std::string* out, sim::SimTime ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64, ps / 1000000,
+                ps % 1000000);
+  *out += buf;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendArgs(std::string* out, const TraceRecorder::Args& args) {
+  *out += "\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendEscaped(out, k);
+    *out += ":" + std::to_string(v);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+int TraceRecorder::Track(const std::string& name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  const int id = static_cast<int>(tracks_.size());
+  track_ids_.emplace(name, id);
+  tracks_.push_back(name);
+  return id;
+}
+
+void TraceRecorder::Span(int track, const char* category, std::string name,
+                         sim::SimTime start, sim::SimTime end, Args args) {
+  Event e;
+  e.phase = Phase::kSpan;
+  e.track = track;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts = start;
+  e.dur = end > start ? end - start : 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::Instant(int track, const char* category,
+                            std::string name, sim::SimTime when, Args args) {
+  Event e;
+  e.phase = Phase::kInstant;
+  e.track = track;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts = when;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::Counter(std::string name, sim::SimTime when,
+                            std::uint64_t value) {
+  Event e;
+  e.phase = Phase::kCounter;
+  e.track = 0;
+  e.category = "counter";
+  e.name = std::move(name);
+  e.ts = when;
+  e.value = value;
+  events_.push_back(std::move(e));
+}
+
+std::string TraceRecorder::ToJson() const {
+  // Stable sort by timestamp, longest span first on ties (an enclosing
+  // span must precede the spans it contains for stack-based replay);
+  // remaining ties keep recording order. Spans carry their *start*
+  // time, so the exported stream is monotonic in ts — required by the
+  // replay validation in obs_test.
+  std::vector<std::size_t> order(events_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (events_[a].ts != events_[b].ts) {
+                       return events_[a].ts < events_[b].ts;
+                     }
+                     return events_[a].dur > events_[b].dur;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Track-name metadata first (ts-less, viewers expect them early).
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    AppendEscaped(&out, tracks_[t]);
+    out += "}}";
+  }
+  for (std::size_t i : order) {
+    const Event& e = events_[i];
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"pid\":1,\"tid\":" + std::to_string(e.track) + ",\"name\":";
+    AppendEscaped(&out, e.name);
+    out += ",\"cat\":";
+    AppendEscaped(&out, e.category);
+    out += ",\"ts\":";
+    AppendMicros(&out, e.ts);
+    switch (e.phase) {
+      case Phase::kSpan:
+        out += ",\"ph\":\"X\",\"dur\":";
+        AppendMicros(&out, e.dur);
+        out.push_back(',');
+        AppendArgs(&out, e.args);
+        break;
+      case Phase::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\",";
+        AppendArgs(&out, e.args);
+        break;
+      case Phase::kCounter:
+        out += ",\"ph\":\"C\",\"args\":{\"value\":" +
+               std::to_string(e.value) + "}";
+        break;
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace mgjoin::obs

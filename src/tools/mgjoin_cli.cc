@@ -4,10 +4,17 @@
 //   mgjoin join  [--gpus N] [--tuples N] [--policy P] [--zipf Z]
 //                [--key-zipf Z] [--packet-kb N] [--scale S]
 //                [--no-compression] [--links]
+//                [--trace=out.json] [--metrics]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
 //
 // Policies: adaptive (default), direct, bandwidth, hopcount, latency,
 // centralized.
+//
+// `--trace=out.json` writes a Chrome trace (open in Perfetto /
+// chrome://tracing) of the join's fabric activity: per-GPU DMA-engine
+// busy spans, per-link occupancy, ring-buffer syncs/escapes and
+// join-phase spans. `--metrics` prints the metrics registry (counters,
+// queue-depth high-water marks, per-link busy timelines).
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +26,7 @@
 #include "exec/engine.h"
 #include "join/mg_join.h"
 #include "join/umj.h"
+#include "obs/obs.h"
 #include "topo/presets.h"
 #include "tpch/dbgen.h"
 #include "tpch/omnisci_model.h"
@@ -51,7 +59,10 @@ Args ParseArgs(int argc, char** argv, int first) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    // Both `--key=value` and `--key value` are accepted.
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      a.kv[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       a.kv[key] = argv[++i];
     } else {
       a.kv[key] = "1";
@@ -113,6 +124,12 @@ int CmdJoin(const Args& args) {
   opts.use_compression = !args.Has("no-compression");
   opts.virtual_scale = args.GetD("scale", 1.0);
 
+  const std::string trace_path = args.Get("trace", "");
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  if (!trace_path.empty()) opts.transfer.obs.trace = &trace;
+  if (args.Has("metrics")) opts.transfer.obs.metrics = &metrics;
+
   join::MgJoin join(topo.get(), topo::FirstNGpus(g), opts);
   auto res = join.Execute(r, s);
   if (!res.ok()) {
@@ -121,6 +138,21 @@ int CmdJoin(const Args& args) {
     return 1;
   }
   const join::JoinResult& out = res.value();
+
+  if (!trace_path.empty()) {
+    const Status st = trace.WriteFile(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace             %s (%zu events; open in Perfetto)\n",
+                trace_path.c_str(), trace.num_events());
+  }
+  if (args.Has("metrics")) {
+    std::printf("---- metrics (window = makespan) ----\n%s",
+                metrics.Summary(out.net.Makespan()).c_str());
+  }
   std::printf("policy            %s\n", net::PolicyKindName(opts.policy));
   std::printf("input tuples      %llu (simulated %llu)\n",
               static_cast<unsigned long long>(out.input_tuples),
@@ -186,6 +218,7 @@ void Usage() {
                "bandwidth|hopcount|latency|centralized\n"
                "        --zipf Z --key-zipf Z --packet-kb N --scale S "
                "--no-compression\n"
+               "        --trace=out.json --metrics\n"
                "  tpch  --query 3|5|10|12|14|19|all --sf F "
                "--virtual-sf F\n");
 }

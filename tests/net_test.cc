@@ -343,6 +343,57 @@ TEST(TransferEngineTest, TinyRingBufferStillCompletes) {
   EXPECT_GT(run.stats.ring_syncs, 0u);
 }
 
+TEST(TransferEngineTest, DeadlockRegressionEscapeValveFires) {
+  // Regression for the multi-hop buffer-cycle deadlock: shrink the
+  // routing rings to the 2-slot floor (one slot of which is reserved for
+  // last-hop traffic) and make senders give up after two failed polls.
+  // Transit packets wedge quickly under an 8-GPU all-to-all; the run
+  // must still terminate — via the escape valve — with nothing lost.
+  TransferOptions opts;
+  opts.ring_buffer_bytes = 2 * kMiB;  // clamped to the 2-slot minimum
+  opts.escape_poll_threshold = 2;
+  std::vector<Flow> flows;
+  std::uint64_t id = 0;
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      if (s != d) flows.push_back(Flow{id++, s, d, 32 * kMiB, 0, 0.0});
+    }
+  }
+  auto run =
+      RunFlows(PolicyKind::kAdaptive, topo::FirstNGpus(8), flows, opts);
+  EXPECT_GT(run.stats.escapes, 0u) << "escape valve never triggered";
+  EXPECT_EQ(run.stats.payload_bytes, id * 32 * kMiB);
+  for (const Flow& f : flows) {
+    EXPECT_EQ(run.delivered_per_flow[f.id], f.bytes) << "flow " << f.id;
+  }
+}
+
+TEST(TransferStatsTest, ZeroPacketEdgeCases) {
+  TransferStats empty;
+  EXPECT_EQ(empty.Makespan(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgIntermediateHops(), 0.0);  // no 0/0
+}
+
+TEST(TransferStatsTest, MakespanClampsInvertedWindow) {
+  // A flow can become available after the last (unrelated) delivery;
+  // the makespan must clamp to zero instead of wrapping the uint64.
+  TransferStats st;
+  st.first_available = 100;
+  st.last_delivery = 40;
+  EXPECT_EQ(st.Makespan(), 0u);
+  EXPECT_DOUBLE_EQ(st.Throughput(), 0.0);
+}
+
+TEST(TransferStatsTest, DirectTrafficHasZeroIntermediateHops) {
+  TransferStats st;
+  st.packets = 10;
+  st.packet_hops = 10;  // every packet delivered on its first hop
+  EXPECT_DOUBLE_EQ(st.AvgIntermediateHops(), 0.0);
+  st.packet_hops = 25;
+  EXPECT_DOUBLE_EQ(st.AvgIntermediateHops(), 1.5);
+}
+
 TEST(TransferEngineTest, WireBytesAtLeastPayload) {
   std::vector<Flow> flows{{0, 0, 7, 64 * kMiB, 0, 0.0}};
   auto run = RunFlows(PolicyKind::kAdaptive, topo::FirstNGpus(8), flows);

@@ -1,10 +1,18 @@
-// Unit tests for the discrete-event simulator.
+// Unit tests for the discrete-event simulator, including end-to-end
+// determinism of a full transfer-engine run (two identical runs must
+// produce byte-identical observable streams).
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "common/units.h"
+#include "net/routing_policy.h"
+#include "net/transfer_engine.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
+#include "topo/presets.h"
 
 namespace mgjoin::sim {
 namespace {
@@ -84,6 +92,92 @@ TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
   s.ScheduleAt(500, [&] { seen = s.Now(); });
   s.Run();
   EXPECT_EQ(seen, 500u);
+}
+
+TEST(SimTimeTest, RoundTripsAtPicosecondExtremes) {
+  // FromSeconds(ToSeconds(t)) must be exact from a single picosecond up
+  // to hours of simulated time (~3.6e15 ps, still inside the 2^53
+  // double-exact integer range).
+  for (const SimTime t :
+       {SimTime{1}, SimTime{999}, kNanosecond + 1, kMicrosecond,
+        kMillisecond + 123456789, kSecond, 3600 * kSecond}) {
+    EXPECT_EQ(FromSeconds(ToSeconds(t)), t) << t;
+  }
+  EXPECT_EQ(FromSeconds(1e-12), SimTime{1});  // one picosecond
+  EXPECT_EQ(FromSeconds(0.0), SimTime{0});
+  EXPECT_DOUBLE_EQ(ToSeconds(SimTime{1}), 1e-12);
+}
+
+TEST(SimulatorTest, RunUntilBoundaryIsInclusive) {
+  Simulator s;
+  int count = 0;
+  s.ScheduleAt(50, [&count] { ++count; });
+  s.ScheduleAt(55, [&count] { ++count; });
+  s.ScheduleAt(56, [&count] { ++count; });
+  s.RunUntil(55);
+  EXPECT_EQ(count, 2);  // the event at exactly `until` runs
+  EXPECT_EQ(s.Now(), 55u);
+  EXPECT_FALSE(s.Empty());
+  s.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, RunUntilDoesNotRewindClock) {
+  Simulator s;
+  s.RunUntil(1000);
+  ASSERT_EQ(s.Now(), 1000u);
+  s.RunUntil(400);  // an earlier horizon must not move time backwards
+  EXPECT_EQ(s.Now(), 1000u);
+}
+
+TEST(SimulatorTest, SameTimestampEventsCanScheduleMoreAtSameTime) {
+  // An event scheduled *at the current time from within an event* still
+  // runs after everything already queued for that time (insertion order
+  // is global, not per-timestamp).
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleAt(10, [&] {
+    order.push_back(1);
+    s.ScheduleAt(10, [&] { order.push_back(3); });
+  });
+  s.ScheduleAt(10, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system determinism: the property the trace/metrics subsystem and
+// all repro experiments rely on.
+
+std::pair<std::string, std::uint64_t> TracedAdaptiveRun() {
+  Simulator s;
+  auto topo = topo::MakeDgx1V();
+  auto policy = net::MakePolicy(net::PolicyKind::kAdaptive);
+  mgjoin::obs::TraceRecorder trace;
+  net::TransferOptions opts;
+  opts.obs.trace = &trace;
+  opts.ring_buffer_bytes = 8 * kMiB;  // some backpressure + ring syncs
+  net::TransferEngine eng(&s, topo.get(), topo::FirstNGpus(8), policy.get(),
+                          opts);
+  std::uint64_t id = 0;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 16 * kMiB + a + b, 0, 0.0});
+    }
+  }
+  eng.Start();
+  s.Run();
+  EXPECT_TRUE(eng.AllDone());
+  return {trace.ToJson(), s.events_processed()};
+}
+
+TEST(SimulatorTest, IdenticalRunsProduceByteIdenticalTraces) {
+  const auto [json1, events1] = TracedAdaptiveRun();
+  const auto [json2, events2] = TracedAdaptiveRun();
+  EXPECT_EQ(events1, events2);
+  ASSERT_FALSE(json1.empty());
+  EXPECT_EQ(json1, json2) << "adaptive-policy run is not deterministic";
 }
 
 }  // namespace
