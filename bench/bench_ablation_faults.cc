@@ -1,0 +1,61 @@
+// Ablation: join throughput degradation under link faults, per routing
+// policy (fault model, DESIGN.md Sec 10). Each scenario injects a fault
+// plan into the distribution step of a full 8-GPU join; the healthy run
+// is the baseline. Adaptive routing should degrade gracefully (it
+// re-plans around dead links), while the direct-route baseline must fall
+// back to its escape/repair path and loses more.
+
+#include "bench/bench_util.h"
+
+using namespace mgjoin;
+using namespace mgjoin::bench;
+
+int main() {
+  PrintHeader("Ablation: link faults",
+              "total join time (ms) per policy under injected faults, "
+              "8 GPUs");
+  auto topo = topo::MakeDgx1V();
+  const auto gpus = topo::FirstNGpus(8);
+  auto [r, s] = PaperInput(8);
+
+  struct Scenario {
+    const char* name;
+    const char* spec;  // FaultPlan grammar, parsed against the topology
+  };
+  // Times chosen to land inside the distribution phase (the join spends
+  // its first ~tens of ms in histogram + partitioning kernels).
+  const Scenario scenarios[] = {
+      {"healthy", ""},
+      {"nvlink down mid-run", "down:gpu0-gpu3:@50ms"},
+      {"nvlink down+restored",
+       "down:gpu0-gpu3:@50ms,restore:gpu0-gpu3:@120ms"},
+      {"two nvlinks down", "down:gpu0-gpu3:@50ms,down:gpu1-gpu2:@50ms"},
+      {"qpi degraded 50%", "degrade:qpi0:0.5:@30ms"},
+      {"nvlink flapping", "flap:gpu0-gpu3:@50ms:10msx4"},
+  };
+  const net::PolicyKind policies[] = {
+      net::PolicyKind::kAdaptive,
+      net::PolicyKind::kBandwidth,
+      net::PolicyKind::kDirect,
+  };
+
+  std::printf("%-22s %-12s %-10s %-8s %-9s %-7s\n", "scenario", "policy",
+              "total_ms", "slowdn", "reroutes", "waits");
+  for (const net::PolicyKind kind : policies) {
+    double base = 0;
+    for (const Scenario& sc : scenarios) {
+      join::MgJoinOptions opts;
+      opts.policy = kind;
+      opts.transfer.faults =
+          net::FaultPlan::Parse(sc.spec, *topo).ValueOrDie();
+      const auto res = RunJoin(topo.get(), gpus, r, s, opts);
+      const double ms = sim::ToMillis(res.timing.total);
+      if (base == 0) base = ms;
+      std::printf("%-22s %-12s %-10.1f %-8.2f %-9llu %-7llu\n", sc.name,
+                  net::PolicyKindName(kind), ms, ms / base,
+                  static_cast<unsigned long long>(res.net.fault_reroutes),
+                  static_cast<unsigned long long>(res.net.fault_waits));
+    }
+  }
+  return 0;
+}

@@ -9,6 +9,12 @@
 // Observability: setting MGJ_TRACE=<file> makes every join/distribution
 // run in the bench record into one Chrome trace, written at process
 // exit; MGJ_METRICS=1 prints the accumulated metrics registry at exit.
+//
+// Fault injection: MGJ_FAULTS=<spec> applies a link fault plan (see
+// net/fault_plan.h for the grammar, e.g.
+// "down:gpu0-gpu3:@5ms,restore:gpu0-gpu3:@15ms") to every run that does
+// not set its own plan, so any figure can be re-measured on a degraded
+// fabric.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +25,7 @@
 #include "data/generator.h"
 #include "join/mg_join.h"
 #include "join/umj.h"
+#include "net/fault_plan.h"
 #include "net/routing_policy.h"
 #include "net/transfer_engine.h"
 #include "obs/obs.h"
@@ -38,13 +45,23 @@ class EnvObs {
   }
 
   /// Fills any unset hook in `options` from the environment-enabled
-  /// sinks. Explicit hooks set by the caller win.
-  void Attach(net::TransferOptions* options) {
+  /// sinks and applies the MGJ_FAULTS plan (parsed against `topo`) if
+  /// the caller did not set one. Explicit settings win.
+  void Attach(net::TransferOptions* options, const topo::Topology& topo) {
     if (options->obs.trace == nullptr && !trace_path_.empty()) {
       options->obs.trace = &trace_;
     }
     if (options->obs.metrics == nullptr && metrics_enabled_) {
       options->obs.metrics = &metrics_;
+    }
+    if (options->faults.empty() && !fault_spec_.empty()) {
+      auto plan = net::FaultPlan::Parse(fault_spec_, topo);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "# MGJ_FAULTS ignored: %s\n",
+                     plan.status().ToString().c_str());
+      } else {
+        options->faults = std::move(plan).value();
+      }
     }
   }
 
@@ -54,6 +71,8 @@ class EnvObs {
     if (t != nullptr && *t != '\0') trace_path_ = t;
     const char* m = std::getenv("MGJ_METRICS");
     metrics_enabled_ = m != nullptr && *m != '\0' && *m != '0';
+    const char* f = std::getenv("MGJ_FAULTS");
+    if (f != nullptr && *f != '\0') fault_spec_ = f;
   }
 
   ~EnvObs() {
@@ -70,6 +89,7 @@ class EnvObs {
   }
 
   std::string trace_path_;
+  std::string fault_spec_;
   bool metrics_enabled_ = false;
   obs::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
@@ -104,7 +124,7 @@ inline join::JoinResult RunJoin(const topo::Topology* topo,
                                 join::MgJoinOptions opts,
                                 double virtual_scale = kPaperScale) {
   opts.virtual_scale = virtual_scale;
-  EnvObs::Instance().Attach(&opts.transfer);
+  EnvObs::Instance().Attach(&opts.transfer, *topo);
   join::MgJoin j(topo, gpus, opts);
   return j.Execute(r, s).ValueOrDie();
 }
@@ -161,7 +181,7 @@ inline DistributionRun RunDistribution(const topo::Topology* topo,
                                        net::PolicyKind kind,
                                        net::TransferOptions options = {}) {
   sim::Simulator s;
-  EnvObs::Instance().Attach(&options);
+  EnvObs::Instance().Attach(&options, *topo);
   auto policy = net::MakePolicy(kind, options.max_intermediates);
   net::TransferEngine eng(&s, topo, gpus, policy.get(), options);
   for (const net::Flow& f : flows) eng.AddFlow(f);

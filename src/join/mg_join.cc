@@ -14,9 +14,12 @@ namespace mgjoin::join {
 
 namespace {
 
-// Virtual (paper-scale) tuple count.
+// Virtual (paper-scale) tuple count. Rounded, not truncated: at
+// non-integer virtual_scale, truncation shaved one tuple/byte off most
+// products and the per-GPU sums drifted from the scaled totals.
 std::uint64_t Scale(std::uint64_t n, double s) {
-  return static_cast<std::uint64_t>(static_cast<double>(n) * s);
+  return static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(n) * s));
 }
 
 }  // namespace

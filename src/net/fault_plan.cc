@@ -1,0 +1,195 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mgjoin::net {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDown:
+      return "down";
+    case FaultKind::kDegraded:
+      return "degrade";
+    case FaultKind::kRestored:
+      return "restore";
+  }
+  return "?";
+}
+
+void FaultPlan::Add(FaultEvent ev) {
+  MGJ_CHECK(ev.link_id >= 0) << "fault event on unresolved link";
+  // Keep events sorted by time; ties keep insertion order so identical
+  // plans schedule identically.
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), ev,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(pos, ev);
+}
+
+void FaultPlan::Down(int link_id, sim::SimTime at) {
+  Add({at, link_id, FaultKind::kDown, 0.0});
+}
+
+void FaultPlan::Degrade(int link_id, double factor, sim::SimTime at) {
+  MGJ_CHECK(factor > 0.0 && factor <= 1.0)
+      << "degrade factor " << factor << " outside (0, 1]";
+  Add({at, link_id, FaultKind::kDegraded, factor});
+}
+
+void FaultPlan::Restore(int link_id, sim::SimTime at) {
+  Add({at, link_id, FaultKind::kRestored, 1.0});
+}
+
+void FaultPlan::Flap(int link_id, sim::SimTime at, sim::SimTime half_period,
+                     int cycles) {
+  MGJ_CHECK(half_period > 0) << "flap half-period must be positive";
+  MGJ_CHECK(cycles > 0) << "flap cycle count must be positive";
+  for (int c = 0; c < cycles; ++c) {
+    Down(link_id, at + 2 * static_cast<sim::SimTime>(c) * half_period);
+    Restore(link_id, at + (2 * static_cast<sim::SimTime>(c) + 1) * half_period);
+  }
+}
+
+std::string FaultPlan::ToString(const topo::Topology& topo) const {
+  std::ostringstream out;
+  for (const FaultEvent& ev : events_) {
+    out << "@" << sim::ToMicros(ev.at) << "us " << FaultKindName(ev.kind)
+        << " " << topo.link(ev.link_id).ToString();
+    if (ev.kind == FaultKind::kDegraded) out << " x" << ev.factor;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<sim::SimTime> ParseDuration(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          text[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) {
+    return Status::InvalidArgument("duration '" + text +
+                                   "' does not start with a number");
+  }
+  const double value = std::strtod(text.substr(0, i).c_str(), nullptr);
+  const std::string unit = text.substr(i);
+  double scale = 0.0;
+  if (unit == "s") {
+    scale = static_cast<double>(sim::kSecond);
+  } else if (unit == "ms") {
+    scale = static_cast<double>(sim::kMillisecond);
+  } else if (unit == "us") {
+    scale = static_cast<double>(sim::kMicrosecond);
+  } else if (unit == "ns") {
+    scale = static_cast<double>(sim::kNanosecond);
+  } else if (unit == "ps") {
+    scale = 1.0;
+  } else {
+    return Status::InvalidArgument("duration '" + text +
+                                   "' needs a unit (s|ms|us|ns|ps)");
+  }
+  const double ps = value * scale + 0.5;
+  if (!(ps >= 0.0)) {
+    return Status::InvalidArgument("duration '" + text + "' is negative");
+  }
+  if (ps >= static_cast<double>(sim::kSimTimeMax)) return sim::kSimTimeMax;
+  return static_cast<sim::SimTime>(ps);
+}
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Result<sim::SimTime> ParseAtTime(const std::string& token) {
+  if (token.empty() || token[0] != '@') {
+    return Status::InvalidArgument("expected '@<time>', got '" + token + "'");
+  }
+  return ParseDuration(token.substr(1));
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec,
+                                   const topo::Topology& topo) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& clause : SplitOn(spec, ',')) {
+    if (clause.empty()) continue;
+    const std::vector<std::string> f = SplitOn(clause, ':');
+    const std::string& op = f[0];
+    auto bad = [&clause](const std::string& why) {
+      return Status::InvalidArgument("fault clause '" + clause + "': " + why);
+    };
+    if (op == "down" || op == "restore") {
+      if (f.size() != 3) return bad("expected " + op + ":<link>:@<time>");
+      auto link = topo.ResolveLinkSpec(f[1]);
+      if (!link.ok()) return link.status();
+      auto at = ParseAtTime(f[2]);
+      if (!at.ok()) return at.status();
+      if (op == "down") {
+        plan.Down(link.value(), at.value());
+      } else {
+        plan.Restore(link.value(), at.value());
+      }
+    } else if (op == "degrade") {
+      if (f.size() != 4) return bad("expected degrade:<link>:<factor>:@<time>");
+      auto link = topo.ResolveLinkSpec(f[1]);
+      if (!link.ok()) return link.status();
+      char* end = nullptr;
+      const double factor = std::strtod(f[2].c_str(), &end);
+      if (end == f[2].c_str() || *end != '\0' || !(factor > 0.0) ||
+          factor > 1.0) {
+        return bad("factor '" + f[2] + "' must be a number in (0, 1]");
+      }
+      auto at = ParseAtTime(f[3]);
+      if (!at.ok()) return at.status();
+      plan.Degrade(link.value(), factor, at.value());
+    } else if (op == "flap") {
+      // flap:<link>:@<time>:<half_period>x<cycles>
+      if (f.size() != 4) return bad("expected flap:<link>:@<time>:<half>x<n>");
+      auto link = topo.ResolveLinkSpec(f[1]);
+      if (!link.ok()) return link.status();
+      auto at = ParseAtTime(f[2]);
+      if (!at.ok()) return at.status();
+      const std::size_t x = f[3].rfind('x');
+      if (x == std::string::npos || x == 0 || x + 1 >= f[3].size()) {
+        return bad("expected '<half_period>x<cycles>', got '" + f[3] + "'");
+      }
+      auto half = ParseDuration(f[3].substr(0, x));
+      if (!half.ok()) return half.status();
+      if (half.value() == 0) return bad("flap half-period must be positive");
+      char* end = nullptr;
+      const long cycles = std::strtol(f[3].c_str() + x + 1, &end, 10);
+      if (*end != '\0' || cycles <= 0 || cycles > 1000) {
+        return bad("cycle count '" + f[3].substr(x + 1) +
+                   "' must be in [1, 1000]");
+      }
+      plan.Flap(link.value(), at.value(), half.value(),
+                static_cast<int>(cycles));
+    } else {
+      return bad("unknown op '" + op +
+                 "' (want down|degrade|restore|flap)");
+    }
+  }
+  return plan;
+}
+
+}  // namespace mgjoin::net

@@ -1,0 +1,93 @@
+#ifndef MGJOIN_NET_FAULT_PLAN_H_
+#define MGJOIN_NET_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace mgjoin::net {
+
+/// What happens to a link at a scheduled instant (DESIGN.md Sec 10).
+enum class FaultKind {
+  kDown,      ///< link fails: no new admissions in either direction
+  kDegraded,  ///< link runs at `factor` x its effective bandwidth
+  kRestored,  ///< link returns to full health
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scheduled link event of a FaultPlan.
+struct FaultEvent {
+  sim::SimTime at = 0;    ///< absolute simulated time
+  int link_id = -1;       ///< physical link (topo::Link id)
+  FaultKind kind = FaultKind::kDown;
+  double factor = 1.0;    ///< bandwidth multiplier; kDegraded only
+};
+
+/// \brief A deterministic schedule of link fault events.
+///
+/// The plan is pure data: events are applied by
+/// LinkStateTable::ApplyFaultPlan, which schedules each one on the
+/// discrete-event simulator. Because fault times are fixed simulated
+/// instants and the simulator breaks ties by insertion order, identical
+/// plans replay identically — fault runs stay byte-deterministic.
+///
+/// Build programmatically (Down/Degrade/Restore/Flap) or parse the
+/// front-end grammar (comma-separated clauses):
+///
+///   down:<link>:@<time>              link fails at <time>
+///   degrade:<link>:<factor>:@<time>  bandwidth x <factor> in (0,1]
+///   restore:<link>:@<time>           link returns to full health
+///   flap:<link>:@<time>:<half>x<n>   n down/restore cycles, each state
+///                                    held for <half>
+///
+/// `<link>` uses Topology::ResolveLinkSpec ("gpu0-gpu3", "qpi0",
+/// "pcie2", "nvlink5", "link12", or an exact link name); `<time>` and
+/// `<half>` are durations like "5ms", "250us", "1s".
+///
+/// Example: `down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms`.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Takes `link_id` down at `at`.
+  void Down(int link_id, sim::SimTime at);
+  /// Degrades `link_id` to `factor` (in (0, 1]) of its bandwidth at `at`.
+  void Degrade(int link_id, double factor, sim::SimTime at);
+  /// Restores `link_id` to full health at `at`.
+  void Restore(int link_id, sim::SimTime at);
+  /// Schedules `cycles` down/restore flaps starting at `at`; the link
+  /// holds each state for `half_period`.
+  void Flap(int link_id, sim::SimTime at, sim::SimTime half_period,
+            int cycles);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events sorted by (time, insertion order).
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Human-readable schedule, one event per line (CLI diagnostics).
+  std::string ToString(const topo::Topology& topo) const;
+
+  /// Parses the grammar above against `topo`'s links. An empty spec
+  /// yields an empty plan.
+  static Result<FaultPlan> Parse(const std::string& spec,
+                                 const topo::Topology& topo);
+
+ private:
+  void Add(FaultEvent ev);
+
+  std::vector<FaultEvent> events_;
+};
+
+/// Parses a duration like "5ms", "250us", "1.5s", "800ns", "42ps".
+Result<sim::SimTime> ParseDuration(const std::string& text);
+
+}  // namespace mgjoin::net
+
+#endif  // MGJOIN_NET_FAULT_PLAN_H_

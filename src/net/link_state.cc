@@ -14,6 +14,7 @@ LinkStateTable::LinkStateTable(sim::Simulator* sim,
     : sim_(sim), topo_(topo), hooks_(hooks) {
   dirs_.resize(static_cast<std::size_t>(topo->num_links()) * 2);
   dir_tracks_.assign(dirs_.size(), -1);
+  avail_.Reset(topo->num_links());
 }
 
 std::string LinkStateTable::DirName(topo::LinkDir ld) const {
@@ -39,6 +40,13 @@ sim::SimTime LinkStateTable::Now() const { return sim_->Now(); }
 LinkStateTable::Reservation LinkStateTable::ReserveChannel(
     const topo::Channel& ch, std::uint64_t bytes) {
   const sim::SimTime now = sim_->Now();
+  // Admission control lives in the transfer engine; by the time a
+  // channel is reserved every link must be up. (A link dying *after*
+  // this point is fine — the leg is already on the wire and completes.)
+  MGJ_CHECK(ChannelAvailable(ch))
+      << "reserving channel " << ch.src_gpu << "->" << ch.dst_gpu
+      << " with a down link\n"
+      << HealthReport();
 
   // Staged transfers are tiled and pipelined by the driver (Sec 2.2):
   // each physical link of the channel streams the packet independently
@@ -74,7 +82,85 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
 
 double LinkStateTable::links_eff_bw_(topo::LinkDir ld,
                                      std::uint64_t bytes) const {
-  return topo_->link(ld.link_id).effective_bandwidth(bytes);
+  // A degraded link runs at a fraction of its healthy bandwidth; the
+  // factor is 1.0 while up (and 0.0 down, but down links never admit).
+  return topo_->link(ld.link_id).effective_bandwidth(bytes) *
+         avail_.Factor(ld.link_id);
+}
+
+bool LinkStateTable::ChannelAvailable(const topo::Channel& ch) const {
+  if (avail_.AllUp()) return true;
+  for (const topo::LinkDir& ld : ch.path) {
+    if (!avail_.Up(ld.link_id)) return false;
+  }
+  return true;
+}
+
+bool LinkStateTable::RouteAvailable(const topo::Route& r) const {
+  if (avail_.AllUp()) return true;
+  for (std::size_t i = 0; i + 1 < r.gpus.size(); ++i) {
+    if (!ChannelAvailable(topo_->channel(r.gpus[i], r.gpus[i + 1]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LinkStateTable::ApplyFaultPlan(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events()) {
+    MGJ_CHECK(ev.link_id >= 0 && ev.link_id < topo_->num_links())
+        << "fault event on unknown link " << ev.link_id;
+    ++pending_fault_events_;
+    sim_->ScheduleAt(std::max(ev.at, sim_->Now()),
+                     [this, ev] { ApplyFaultEvent(ev); });
+  }
+}
+
+void LinkStateTable::ApplyFaultEvent(const FaultEvent& ev) {
+  --pending_fault_events_;
+  ++fault_events_applied_;
+  switch (ev.kind) {
+    case FaultKind::kDown:
+      avail_.SetHealth(ev.link_id, topo::LinkHealth::kDown);
+      break;
+    case FaultKind::kDegraded:
+      avail_.SetHealth(ev.link_id, topo::LinkHealth::kDegraded, ev.factor);
+      break;
+    case FaultKind::kRestored:
+      avail_.SetHealth(ev.link_id, topo::LinkHealth::kUp);
+      break;
+  }
+  // Health as a percentage of nominal bandwidth: 100 up, 0 down.
+  const std::uint64_t pct = static_cast<std::uint64_t>(
+      avail_.Factor(ev.link_id) * 100.0 + 0.5);
+  const std::string link_name = topo_->link(ev.link_id).ToString();
+  if (hooks_.trace != nullptr) {
+    if (fault_track_ < 0) fault_track_ = hooks_.trace->Track("net.faults");
+    hooks_.trace->Instant(
+        fault_track_, "fault", FaultKindName(ev.kind) + (": " + link_name),
+        sim_->Now(),
+        {{"link", static_cast<std::uint64_t>(ev.link_id)},
+         {"health_pct", pct}});
+  }
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->gauge("link." + link_name + ".state").Set(pct);
+    hooks_.metrics->counter("net.fault_events").Add(1);
+  }
+  if (fault_cb_) fault_cb_(ev);
+}
+
+std::string LinkStateTable::HealthReport() const {
+  std::string out;
+  for (const topo::Link& l : topo_->links()) {
+    const topo::LinkHealth h = avail_.health(l.id);
+    if (h == topo::LinkHealth::kUp) continue;
+    out += "  " + l.ToString() + ": " + topo::LinkHealthName(h);
+    if (h == topo::LinkHealth::kDegraded) {
+      out += " (x" + std::to_string(avail_.Factor(l.id)) + ")";
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 sim::SimTime LinkStateTable::TrueQueueDelay(topo::LinkDir ld) const {

@@ -2,9 +2,11 @@
 #define MGJOIN_NET_LINK_STATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "obs/obs.h"
 #include "sim/simulator.h"
 #include "topo/link.h"
@@ -61,6 +63,51 @@ class LinkStateTable {
   /// Number of queue-delay broadcasts issued so far.
   std::uint64_t broadcasts() const { return broadcasts_; }
 
+  /// \brief Schedules every event of `plan` on the simulator (fault
+  /// model, DESIGN.md Sec 10).
+  ///
+  /// When an event fires the availability view transitions, a
+  /// `net.faults` trace instant and a `link.<name>.state` gauge sample
+  /// are emitted, and the fault callback (if any) runs — the transfer
+  /// engine uses it to repair routes and re-kick blocked senders.
+  /// In-flight reservations are never revoked: a leg already on the wire
+  /// completes, only new admissions see the changed state.
+  void ApplyFaultPlan(const FaultPlan& plan);
+
+  /// Registers `cb` to run after each fault event is applied.
+  void set_fault_callback(std::function<void(const FaultEvent&)> cb) {
+    fault_cb_ = std::move(cb);
+  }
+
+  /// Current per-link health overlay.
+  const topo::LinkAvailabilityView& availability() const { return avail_; }
+
+  bool LinkUp(int link_id) const { return avail_.Up(link_id); }
+
+  /// True if every physical link of `ch` is up.
+  bool ChannelAvailable(const topo::Channel& ch) const;
+
+  /// True if every channel along `r` is available.
+  bool RouteAvailable(const topo::Route& r) const;
+
+  /// Route-validity epoch: bumps on every link state change, so cached
+  /// routing decisions can be invalidated with one comparison.
+  std::uint64_t route_epoch() const { return avail_.epoch(); }
+
+  /// Fault events scheduled but not yet applied. While this is positive
+  /// a blocked sender may legitimately be waiting for a restore, so the
+  /// engine keeps polling (and ticking the deadlock watchdog).
+  int pending_fault_events() const { return pending_fault_events_; }
+
+  /// Fault events applied so far.
+  std::uint64_t fault_events_applied() const {
+    return fault_events_applied_;
+  }
+
+  /// One line per non-healthy link ("  QPI(18<->19): down"); empty when
+  /// the whole fabric is up.
+  std::string HealthReport() const;
+
   /// Per-link utilization table ("link, dir, bytes, busy_ms, util%"),
   /// with utilization relative to `window` (e.g. a run's makespan).
   std::string UtilizationReport(sim::SimTime window) const;
@@ -81,6 +128,7 @@ class LinkStateTable {
     return static_cast<std::size_t>(ld.link_id) * 2 + ld.dir;
   }
   void MaybePublish(topo::LinkDir ld);
+  void ApplyFaultEvent(const FaultEvent& ev);
   double links_eff_bw_(topo::LinkDir ld, std::uint64_t bytes) const;
   /// Human-readable name of a link direction ("PCIe3(8<->10).fwd").
   std::string DirName(topo::LinkDir ld) const;
@@ -93,6 +141,11 @@ class LinkStateTable {
   std::vector<int> dir_tracks_;  // lazily assigned trace track ids
   std::vector<DirState> dirs_;
   std::uint64_t broadcasts_ = 0;
+  topo::LinkAvailabilityView avail_;
+  std::function<void(const FaultEvent&)> fault_cb_;
+  int pending_fault_events_ = 0;
+  std::uint64_t fault_events_applied_ = 0;
+  int fault_track_ = -1;  // lazily assigned "net.faults" trace track
 
   // Broadcasts propagate after this delay and are debounced to changes
   // larger than 25% (and 2 us) of the previous published value.

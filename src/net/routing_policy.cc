@@ -51,6 +51,10 @@ sim::SimTime ArmValue(const topo::Route& route, std::uint64_t packet_bytes,
   sim::SimTime dr = 0;
   for (std::size_t i = 0; i + 1 < route.gpus.size(); ++i) {
     const topo::Channel& ch = topo.channel(route.gpus[i], route.gpus[i + 1]);
+    // A hop over a down link makes the whole route unusable: its ARM is
+    // infinite, mirroring a real scheduler that drops dead links from
+    // its route table (fault model, DESIGN.md Sec 10).
+    if (!state.ChannelAvailable(ch)) return kUnreachableArm;
     for (const topo::LinkDir& ld : ch.path) {
       dr += published ? state.PublishedQueueDelay(ld)
                       : state.TrueQueueDelay(ld);
@@ -63,13 +67,36 @@ sim::SimTime ArmValue(const topo::Route& route, std::uint64_t packet_bytes,
 
 namespace {
 
-class DirectPolicy : public RoutingPolicy {
+/// Shared by the two policies that pin the direct channel: with a
+/// healthy fabric they return it unconditionally, but when a fault takes
+/// it down they detour onto the fewest-hop surviving route
+/// (EnumerateRoutes is sorted by hop count, so the first admissible
+/// candidate wins). With no surviving route the direct channel is
+/// returned anyway and the engine waits for a restore.
+class DirectPinnedPolicy : public RoutingPolicy {
  public:
-  PolicyKind kind() const override { return PolicyKind::kDirect; }
+  explicit DirectPinnedPolicy(int max_intermediates)
+      : max_intermediates_(max_intermediates) {}
+
   topo::Route ChooseRoute(int src, int dst, std::uint64_t, int,
-                          const LinkStateTable&) override {
-    return topo::Route{{src, dst}};
+                          const LinkStateTable& state) override {
+    const topo::Route direct{{src, dst}};
+    if (state.RouteAvailable(direct)) return direct;
+    for (const topo::Route& r :
+         state.topo().EnumerateRoutes(src, dst, max_intermediates_)) {
+      if (Allowed(r) && state.RouteAvailable(r)) return r;
+    }
+    return direct;
   }
+
+ private:
+  int max_intermediates_;
+};
+
+class DirectPolicy : public DirectPinnedPolicy {
+ public:
+  using DirectPinnedPolicy::DirectPinnedPolicy;
+  PolicyKind kind() const override { return PolicyKind::kDirect; }
 };
 
 class BandwidthPolicy : public RoutingPolicy {
@@ -82,43 +109,46 @@ class BandwidthPolicy : public RoutingPolicy {
                           const LinkStateTable& state) override {
     const auto& routes =
         state.topo().EnumerateRoutes(src, dst, max_intermediates_);
-    const topo::Route* best = nullptr;
-    double best_bw = -1;
-    for (const topo::Route& r : routes) {
-      if (!Allowed(r)) continue;
-      // "The route with the highest bandwidth" (ties -> fewer hops).
-      // Deliberately ignores the capacity consumed by extra hops — that
-      // blindness is exactly why the paper measures this policy
-      // collapsing on larger GPU counts (Sec 4.2.1).
-      const double bw =
-          state.topo().RouteBottleneckBandwidth(r, packet_bytes);
-      if (bw > best_bw * (1 + 1e-9) ||
-          (bw > best_bw * (1 - 1e-9) && best != nullptr &&
-           r.hops() < best->hops())) {
-        best_bw = bw;
-        best = &r;
+    // Pass 0 considers only currently-admissible routes; when faults
+    // leave none, pass 1 re-runs the static choice ignoring health and
+    // the engine waits for a restore on the returned route.
+    for (int pass = 0; pass < 2; ++pass) {
+      const topo::Route* best = nullptr;
+      double best_bw = -1;
+      for (const topo::Route& r : routes) {
+        if (!Allowed(r)) continue;
+        if (pass == 0 && !state.RouteAvailable(r)) continue;
+        // "The route with the highest bandwidth" (ties -> fewer hops).
+        // Deliberately ignores the capacity consumed by extra hops —
+        // that blindness is exactly why the paper measures this policy
+        // collapsing on larger GPU counts (Sec 4.2.1).
+        const double bw =
+            state.topo().RouteBottleneckBandwidth(r, packet_bytes);
+        if (bw > best_bw * (1 + 1e-9) ||
+            (bw > best_bw * (1 - 1e-9) && best != nullptr &&
+             r.hops() < best->hops())) {
+          best_bw = bw;
+          best = &r;
+        }
       }
+      if (best != nullptr) return *best;
     }
-    MGJ_CHECK(best != nullptr);
-    return *best;
+    MGJ_CHECK(false) << "no allowed route " << src << "->" << dst;
+    return topo::Route{{src, dst}};
   }
 
  private:
   int max_intermediates_;
 };
 
-class HopCountPolicy : public RoutingPolicy {
+// The direct channel always exists, so the minimum hop count is one;
+// among 1-hop options it is the only one. This is what makes the policy
+// fall onto slow staged PCIe routes for non-NVLink pairs. Under faults
+// it behaves exactly like DirectPolicy: fewest surviving hops.
+class HopCountPolicy : public DirectPinnedPolicy {
  public:
+  using DirectPinnedPolicy::DirectPinnedPolicy;
   PolicyKind kind() const override { return PolicyKind::kHopCount; }
-  topo::Route ChooseRoute(int src, int dst, std::uint64_t packet_bytes, int,
-                          const LinkStateTable& state) override {
-    // The direct channel always exists, so the minimum hop count is one;
-    // among 1-hop options it is the only one. This is what makes the
-    // policy fall onto slow staged PCIe routes for non-NVLink pairs.
-    (void)packet_bytes;
-    (void)state;
-    return topo::Route{{src, dst}};
-  }
 };
 
 class LatencyPolicy : public RoutingPolicy {
@@ -131,22 +161,28 @@ class LatencyPolicy : public RoutingPolicy {
                           const LinkStateTable& state) override {
     const auto& routes =
         state.topo().EnumerateRoutes(src, dst, max_intermediates_);
-    const topo::Route* best = nullptr;
-    sim::SimTime best_lat = std::numeric_limits<sim::SimTime>::max();
-    double best_bw = -1;
-    for (const topo::Route& r : routes) {
-      if (!Allowed(r)) continue;
-      const sim::SimTime lat = state.topo().RouteLatency(r);
-      const double bw =
-          state.topo().RouteBottleneckBandwidth(r, packet_bytes);
-      if (lat < best_lat || (lat == best_lat && bw > best_bw)) {
-        best_lat = lat;
-        best_bw = bw;
-        best = &r;
+    // Two passes, as in BandwidthPolicy: admissible routes first, static
+    // fallback when faults leave none.
+    for (int pass = 0; pass < 2; ++pass) {
+      const topo::Route* best = nullptr;
+      sim::SimTime best_lat = std::numeric_limits<sim::SimTime>::max();
+      double best_bw = -1;
+      for (const topo::Route& r : routes) {
+        if (!Allowed(r)) continue;
+        if (pass == 0 && !state.RouteAvailable(r)) continue;
+        const sim::SimTime lat = state.topo().RouteLatency(r);
+        const double bw =
+            state.topo().RouteBottleneckBandwidth(r, packet_bytes);
+        if (lat < best_lat || (lat == best_lat && bw > best_bw)) {
+          best_lat = lat;
+          best_bw = bw;
+          best = &r;
+        }
       }
+      if (best != nullptr) return *best;
     }
-    MGJ_CHECK(best != nullptr);
-    return *best;
+    MGJ_CHECK(false) << "no allowed route " << src << "->" << dst;
+    return topo::Route{{src, dst}};
   }
 
  private:
@@ -176,7 +212,7 @@ class AdaptivePolicy : public RoutingPolicy {
         direct = &r;
         direct_arm = arm;
       }
-      if (arm < best_arm) {
+      if (best == nullptr || arm < best_arm) {
         best_arm = arm;
         best = &r;
       }
@@ -185,9 +221,13 @@ class AdaptivePolicy : public RoutingPolicy {
     // Hysteresis: leave the direct route only for a clear gain. Every
     // detour consumes capacity on two-plus links, and the published
     // queue delays are slightly stale, so chasing marginal gains makes
-    // senders oscillate and clogs an otherwise balanced fabric.
+    // senders oscillate and clogs an otherwise balanced fabric. The
+    // comparison is written subtraction-side to avoid overflowing when
+    // arms are kUnreachableArm; a down direct route never pulls traffic
+    // back (its arm is infinite, so the guard fails).
     if (direct != nullptr && best != direct &&
-        best_arm + best_arm / 6 >= direct_arm) {
+        direct_arm != kUnreachableArm &&
+        direct_arm - best_arm <= best_arm / 6) {
       return *direct;
     }
     return *best;
@@ -217,7 +257,7 @@ class CentralizedPolicy : public RoutingPolicy {
       if (!Allowed(r)) continue;
       const sim::SimTime arm =
           ArmValue(r, packet_bytes, num_packets, state, /*published=*/false);
-      if (arm < best_arm) {
+      if (best == nullptr || arm < best_arm) {
         best_arm = arm;
         best = &r;
       }
@@ -247,11 +287,11 @@ std::unique_ptr<RoutingPolicy> MakePolicy(PolicyKind kind,
                                           int max_intermediates) {
   switch (kind) {
     case PolicyKind::kDirect:
-      return std::make_unique<DirectPolicy>();
+      return std::make_unique<DirectPolicy>(max_intermediates);
     case PolicyKind::kBandwidth:
       return std::make_unique<BandwidthPolicy>(max_intermediates);
     case PolicyKind::kHopCount:
-      return std::make_unique<HopCountPolicy>();
+      return std::make_unique<HopCountPolicy>(max_intermediates);
     case PolicyKind::kLatency:
       return std::make_unique<LatencyPolicy>(max_intermediates);
     case PolicyKind::kAdaptive:

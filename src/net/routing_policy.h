@@ -80,11 +80,18 @@ class RoutingPolicy {
 std::unique_ptr<RoutingPolicy> MakePolicy(PolicyKind kind,
                                           int max_intermediates = 3);
 
+/// ARM value reported for a route that crosses a down link: effectively
+/// infinite, so fault-aware policies never pick it while any admissible
+/// alternative exists. Callers comparing ARM values must not add margins
+/// to a value this large (overflow); see AdaptivePolicy's hysteresis.
+inline constexpr sim::SimTime kUnreachableArm = sim::kSimTimeMax;
+
 /// Computes the ARM value (Eq 2): pipelined transmission cost of the
 /// packet over the route plus the route's dynamic delay (queuing +
 /// latency per link, Eq 4). Exposed for tests and for the centralized
 /// baseline. `published` selects the stale broadcast view (true) or the
-/// oracle view (false).
+/// oracle view (false). Routes crossing a down link return
+/// kUnreachableArm.
 sim::SimTime ArmValue(const topo::Route& route, std::uint64_t packet_bytes,
                       int num_packets, const LinkStateTable& state,
                       bool published);

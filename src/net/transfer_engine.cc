@@ -42,6 +42,9 @@ TransferEngine::TransferEngine(sim::Simulator* sim,
                                      options_.packet_bytes));
   for (RingLink& r : rings_) r.slots = slots;
   dma_tracks_.assign(gpus_.size() * options_.dma_engines, -1);
+  fault_retry_pending_.assign(gpus_.size(), 0);
+  links_.set_fault_callback(
+      [this](const FaultEvent& ev) { OnFaultEvent(ev); });
   if (obs_.auditor == nullptr) {
     owned_auditor_ = std::make_unique<obs::InvariantAuditor>();
     obs_.auditor = owned_auditor_.get();
@@ -54,8 +57,13 @@ void TransferEngine::RegisterAuditorChecks() {
   a->set_dump_fn([this] { return DebugDump(); });
   a->set_done_fn([this] { return AllDone(); });
   a->set_progress_fn([this] {
-    // Any of these moving means the fabric is not wedged.
-    return stats_.payload_bytes + stats_.packet_hops + stats_.escapes;
+    // Any of these moving means the fabric is not wedged. Fault-retry
+    // polls count as progress: a sender waiting out a link outage with a
+    // restore still scheduled is healthy, not deadlocked (the polls stop
+    // once no fault event is pending, so a truly stranded fabric still
+    // trips the watchdog).
+    return stats_.payload_bytes + stats_.packet_hops + stats_.escapes +
+           stats_.fault_waits;
   });
   a->AddCheck("ring_slot_accounting", [this]() -> std::string {
     for (std::size_t i = 0; i < gpus_.size(); ++i) {
@@ -149,6 +157,7 @@ void TransferEngine::AddFlow(const Flow& flow) {
 void TransferEngine::Start() {
   MGJ_CHECK(!started_);
   started_ = true;
+  if (!options_.faults.empty()) links_.ApplyFaultPlan(options_.faults);
   if (!flows_.empty()) obs_.auditor->StartWatchdog(sim_);
   stats_.first_available =
       flows_.empty() ? sim_->Now()
@@ -256,10 +265,34 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
       MGJ_CHECK(dense_[g] >= 0)
           << "policy routed through non-participant GPU " << g;
     }
+    // Fault gate: the policy returns an unusable route only when faults
+    // left no admissible alternative (e.g. the fabric is partitioned
+    // until a restore). Hold the queue; a fault event or the retry poll
+    // revisits it.
+    if (!links_.RouteAvailable(route)) {
+      ScheduleFaultRetry(gpu);
+      return false;
+    }
   }
 
   const int hop_index = key.transit ? queue.front().packet.hop : 0;
   const int first_hop = route.gpus[hop_index + 1];
+  if (key.transit &&
+      !links_.ChannelAvailable(topo_->channel(gpu, first_hop))) {
+    // The fixed next hop is down. The fault sweep re-paths queued
+    // packets when a link dies, but packets re-queued by an aborted
+    // batch (or arriving after the sweep) can still face a dead hop
+    // here. Repair them onto surviving routes; with none, wait.
+    if (RepairTransitQueue(gpu, key.peer) > 0) {
+      // The repaired packets now live in other queues of this GPU;
+      // re-enter the scheduler fresh rather than mutating the service
+      // order mid-iteration.
+      sim_->Schedule(0, [this, gpu] { TryStartSends(gpu); });
+    } else {
+      ScheduleFaultRetry(gpu);
+    }
+    return false;
+  }
   const bool last_hop =
       hop_index + 2 == static_cast<int>(route.gpus.size());
   RingLink& rl = ring(first_hop, gpu);
@@ -331,6 +364,37 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
   sim_->ScheduleAt(start_at, [this, gpu, next, slot,
                               batch = std::move(batch)]() mutable {
     const topo::Channel& ch = topo_->channel(gpu, next);
+    if (!links_.ChannelAvailable(ch)) {
+      // The next hop died between batch formation and wire time. Unwind
+      // the claim, return the packets to their queue heads and release
+      // the engine; the repair/retry path re-paths them.
+      RingLink& rl = ring(next, gpu);
+      MGJ_CHECK(rl.claimed >= batch.size());
+      rl.claimed -= batch.size();
+      ++stats_.fault_aborts;
+      MetricAdd("net.fault_aborts", 1);
+      GpuState& gs = gpu_state(gpu);
+      for (auto rit = batch.rbegin(); rit != batch.rend(); ++rit) {
+        QueuedPacket& qp = *rit;
+        if (qp.slot_upstream < 0) {
+          // Source packet: the route is re-chosen at the next batch
+          // formation.
+          const int dst = qp.packet.final_dst();
+          qp.packet.route = topo::Route{};
+          qp.packet.hop = 0;
+          gs.queues[QueueKey{false, dst}].push_front(std::move(qp));
+        } else {
+          gs.queues[QueueKey{true, qp.packet.next_gpu()}].push_front(
+              std::move(qp));
+        }
+      }
+      --gs.busy_engines;
+      gs.engine_busy[slot] = 0;
+      obs_.auditor->Poke();
+      ScheduleFaultRetry(gpu);
+      TryStartSends(gpu);
+      return;
+    }
     const sim::SimTime send_start = sim_->Now();
     sim::SimTime engine_free = send_start;
     for (QueuedPacket& qp : batch) {
@@ -397,6 +461,19 @@ void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
   // transmitted onward.
   ++packet.hop;
   GpuState& gs = gpu_state(here);
+  // A fault may have taken a later hop down while this packet was on the
+  // wire; re-path it now rather than queueing it toward a dead hop.
+  if (!RemainingRouteAvailable(packet)) {
+    const int dst = packet.final_dst();
+    const topo::Route alt =
+        policy_->ChooseRoute(here, dst, options_.packet_bytes, 1, links_);
+    if (links_.RouteAvailable(alt)) {
+      packet.route = alt;
+      packet.hop = 0;
+      ++stats_.fault_reroutes;
+      MetricAdd("net.fault_reroutes", 1);
+    }
+  }
   auto& queue = gs.queues[QueueKey{true, packet.next_gpu()}];
   queue.push_back(QueuedPacket{std::move(packet), from_gpu});
   if (obs_.metrics != nullptr) {
@@ -491,7 +568,109 @@ std::string TransferEngine::DebugDump() const {
       }
     }
   }
+  const std::string health = links_.HealthReport();
+  if (!health.empty()) out += "link health:\n" + health;
+  if (links_.pending_fault_events() > 0) {
+    out += "pending fault events=" +
+           std::to_string(links_.pending_fault_events()) + "\n";
+  }
   return out;
+}
+
+bool TransferEngine::RemainingRouteAvailable(const Packet& p) const {
+  for (int i = p.hop; i + 1 < static_cast<int>(p.route.gpus.size()); ++i) {
+    if (!links_.ChannelAvailable(
+            topo_->channel(p.route.gpus[i], p.route.gpus[i + 1]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t TransferEngine::RepairTransitQueue(int gpu, int peer) {
+  GpuState& gs = gpu_state(gpu);
+  auto it = gs.queues.find(QueueKey{true, peer});
+  if (it == gs.queues.end() || it->second.empty()) return 0;
+  // Drain the queue first: repairs may push into arbitrary queues of
+  // this GPU, including this one.
+  std::deque<QueuedPacket> pending = std::move(it->second);
+  it->second.clear();
+  std::deque<QueuedPacket> keep;
+  std::uint64_t moved = 0;
+  for (QueuedPacket& qp : pending) {
+    if (RemainingRouteAvailable(qp.packet)) {
+      keep.push_back(std::move(qp));
+      continue;
+    }
+    const int dst = qp.packet.final_dst();
+    const topo::Route alt =
+        policy_->ChooseRoute(gpu, dst, options_.packet_bytes, 1, links_);
+    if (!links_.RouteAvailable(alt)) {
+      // No surviving route right now; hold the packet for a restore.
+      keep.push_back(std::move(qp));
+      continue;
+    }
+    qp.packet.route = alt;
+    qp.packet.hop = 0;
+    ++moved;
+    if (alt.gpus[1] == peer) {
+      // Only a later hop was dead; the packet stays behind this next
+      // hop on its new route.
+      keep.push_back(std::move(qp));
+    } else {
+      gs.queues[QueueKey{true, alt.gpus[1]}].push_back(std::move(qp));
+    }
+  }
+  it->second = std::move(keep);
+  if (moved > 0) {
+    stats_.fault_reroutes += moved;
+    MetricAdd("net.fault_reroutes", moved);
+    if (obs_.trace != nullptr) {
+      if (fault_track_ < 0) fault_track_ = obs_.trace->Track("net.faults");
+      obs_.trace->Instant(fault_track_, "fault", "reroute", sim_->Now(),
+                          {{"gpu", static_cast<std::uint64_t>(gpu)},
+                           {"packets", moved}});
+    }
+  }
+  return moved;
+}
+
+void TransferEngine::RepairStrandedTransit() {
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    // Snapshot the keys: RepairTransitQueue inserts new queues.
+    std::vector<int> peers;
+    for (const auto& [key, q] : gpu_states_[i].queues) {
+      if (key.transit && !q.empty()) peers.push_back(key.peer);
+    }
+    for (int peer : peers) RepairTransitQueue(gpus_[i], peer);
+  }
+}
+
+void TransferEngine::OnFaultEvent(const FaultEvent& ev) {
+  if (!started_) return;
+  if (ev.kind == FaultKind::kDown) RepairStrandedTransit();
+  // Capacity changed (restore/degrade) or queues were re-pathed: give
+  // every sender a chance to move.
+  for (int g : gpus_) TryStartSends(g);
+  obs_.auditor->Poke();
+}
+
+void TransferEngine::ScheduleFaultRetry(int gpu) {
+  // Without a pending fault event no restore can arrive: leave the
+  // stall to the deadlock watchdog (which dumps link health) rather
+  // than polling forever.
+  if (links_.pending_fault_events() == 0) return;
+  char& pending = fault_retry_pending_[dense_[gpu]];
+  if (pending) return;
+  pending = 1;
+  // Counted as watchdog progress: waiting out an outage with a restore
+  // scheduled is healthy, not deadlocked.
+  ++stats_.fault_waits;
+  MetricAdd("net.fault_waits", 1);
+  sim_->Schedule(options_.fault_retry_interval, [this, gpu] {
+    fault_retry_pending_[dense_[gpu]] = 0;
+    TryStartSends(gpu);
+  });
 }
 
 void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
@@ -510,11 +689,24 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
       keep.push_back(std::move(qp));
       continue;
     }
+    topo::Route escape{{sender, dst}};
+    if (!links_.RouteAvailable(escape)) {
+      // The direct escape hatch is itself down (fault model): ask the
+      // policy for a surviving route. With none — or one that leads
+      // right back into the blocked receiver — the packet stays queued
+      // until a restore.
+      escape =
+          policy_->ChooseRoute(sender, dst, options_.packet_bytes, 1, links_);
+      if (!links_.RouteAvailable(escape) || escape.gpus[1] == receiver) {
+        keep.push_back(std::move(qp));
+        continue;
+      }
+    }
     ++stats_.escapes;
     ++moved;
-    qp.packet.route = topo::Route{{sender, dst}};
+    qp.packet.route = escape;
     qp.packet.hop = 0;
-    gs.queues[QueueKey{true, dst}].push_back(std::move(qp));
+    gs.queues[QueueKey{true, escape.gpus[1]}].push_back(std::move(qp));
   }
   it->second = std::move(keep);
   if (moved > 0) {

@@ -45,6 +45,13 @@ struct TransferOptions {
   /// For the Figure 10 breakdown: measure the centralized baseline's pure
   /// data-transfer cost by zeroing its per-batch barrier.
   bool zero_control_overhead = false;
+  /// Scheduled link fault events, applied to the fabric when Start()
+  /// runs (see net/fault_plan.h). Empty = healthy fabric.
+  FaultPlan faults;
+  /// How long a sender blocked with no admissible route waits before
+  /// re-checking. Only polled while further fault events are scheduled —
+  /// a restore also re-kicks every sender immediately.
+  sim::SimTime fault_retry_interval = 200 * sim::kMicrosecond;
   /// Observability sinks (see obs/obs.h). Null trace/metrics pointers
   /// disable those sinks; a null auditor makes the engine run its own
   /// default one (sampled invariant checks + deadlock watchdog stay on).
@@ -62,6 +69,9 @@ struct TransferStats {
   std::uint64_t batches = 0;
   std::uint64_t ring_syncs = 0;      ///< sender<->receiver buffer syncs
   std::uint64_t escapes = 0;         ///< deadlock safety-valve reroutes
+  std::uint64_t fault_reroutes = 0;  ///< packets re-pathed around down links
+  std::uint64_t fault_aborts = 0;    ///< batches unwound: link died pre-wire
+  std::uint64_t fault_waits = 0;     ///< retry polls while fault-blocked
   sim::SimTime control_overhead = 0; ///< centralized barrier time, summed
 
   /// Wall-clock of the distribution step.
@@ -212,6 +222,12 @@ class TransferEngine {
   void FreeRingSlot(int receiver, int upstream);
   void StartRingSync(int receiver, int upstream);
   void EscapeBlockedPackets(int sender, int receiver);
+  // Fault handling (DESIGN.md Sec 10).
+  void OnFaultEvent(const FaultEvent& ev);
+  bool RemainingRouteAvailable(const Packet& p) const;
+  std::uint64_t RepairTransitQueue(int gpu, int peer);
+  void RepairStrandedTransit();
+  void ScheduleFaultRetry(int gpu);
 
   sim::Simulator* sim_;
   const topo::Topology* topo_;
@@ -228,6 +244,8 @@ class TransferEngine {
   std::vector<RingLink> rings_;
   std::vector<int> dma_tracks_;  // gpu-dense * dma_engines + slot
   int ring_track_ = -1;
+  int fault_track_ = -1;
+  std::vector<char> fault_retry_pending_;  // per dense GPU index
   std::map<std::uint64_t, std::uint64_t> flow_bytes_;
   std::map<std::uint64_t, std::uint64_t> delivered_per_flow_;
   DeliverCallback deliver_cb_;

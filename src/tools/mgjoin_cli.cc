@@ -5,6 +5,7 @@
 //                [--key-zipf Z] [--packet-kb N] [--scale S]
 //                [--no-compression] [--links]
 //                [--trace=out.json] [--metrics]
+//                [--faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
 //
 // Policies: adaptive (default), direct, bandwidth, hopcount, latency,
@@ -15,6 +16,11 @@
 // busy spans, per-link occupancy, ring-buffer syncs/escapes and
 // join-phase spans. `--metrics` prints the metrics registry (counters,
 // queue-depth high-water marks, per-link busy timelines).
+//
+// `--faults=SPEC` injects link faults during the distribution (see
+// net/fault_plan.h for the grammar): links go down, run degraded or
+// flap at scheduled simulated times, and the engine re-routes around
+// them. Join results stay exact; only the timing changes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +31,7 @@
 #include "data/generator.h"
 #include "exec/engine.h"
 #include "join/mg_join.h"
+#include "net/fault_plan.h"
 #include "join/umj.h"
 #include "obs/obs.h"
 #include "topo/presets.h"
@@ -124,6 +131,20 @@ int CmdJoin(const Args& args) {
   opts.use_compression = !args.Has("no-compression");
   opts.virtual_scale = args.GetD("scale", 1.0);
 
+  const std::string fault_spec = args.Get("faults", "");
+  if (!fault_spec.empty()) {
+    auto plan = net::FaultPlan::Parse(fault_spec, *topo);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --faults: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    opts.transfer.faults = std::move(plan).value();
+    std::printf("fault plan (%zu events):\n%s",
+                opts.transfer.faults.size(),
+                opts.transfer.faults.ToString(*topo).c_str());
+  }
+
   const std::string trace_path = args.Get("trace", "");
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
@@ -168,6 +189,14 @@ int CmdJoin(const Args& args) {
               FormatBytes(out.shuffled_bytes).c_str(),
               out.CompressionRatio());
   std::printf("avg extra hops    %.2f\n", out.net.AvgIntermediateHops());
+  if (!fault_spec.empty()) {
+    std::printf("fault reroutes    %llu (batch aborts %llu, waits %llu, "
+                "escapes %llu)\n",
+                static_cast<unsigned long long>(out.net.fault_reroutes),
+                static_cast<unsigned long long>(out.net.fault_aborts),
+                static_cast<unsigned long long>(out.net.fault_waits),
+                static_cast<unsigned long long>(out.net.escapes));
+  }
   return 0;
 }
 
@@ -219,6 +248,8 @@ void Usage() {
                "        --zipf Z --key-zipf Z --packet-kb N --scale S "
                "--no-compression\n"
                "        --trace=out.json --metrics\n"
+               "        --faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms,"
+               "flap:nvlink2:@1ms:500usx3\n"
                "  tpch  --query 3|5|10|12|14|19|all --sf F "
                "--virtual-sf F\n");
 }

@@ -122,4 +122,47 @@ std::string Link::ToString() const {
   return out;
 }
 
+const char* LinkHealthName(LinkHealth health) {
+  switch (health) {
+    case LinkHealth::kUp:
+      return "up";
+    case LinkHealth::kDegraded:
+      return "degraded";
+    case LinkHealth::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+void LinkAvailabilityView::Reset(int num_links) {
+  states_.assign(static_cast<std::size_t>(num_links), State{});
+  down_links_ = 0;
+  epoch_ = 0;
+}
+
+void LinkAvailabilityView::SetHealth(int link_id, LinkHealth health,
+                                     double factor) {
+  MGJ_CHECK(link_id >= 0 &&
+            link_id < static_cast<int>(states_.size()))
+      << "bad link id " << link_id;
+  State& st = states_[static_cast<std::size_t>(link_id)];
+  if (st.health == LinkHealth::kDown) --down_links_;
+  st.health = health;
+  if (health == LinkHealth::kDegraded) {
+    MGJ_CHECK(factor > 0.0 && factor <= 1.0)
+        << "degrade factor " << factor << " outside (0, 1]";
+    st.factor = factor;
+  } else {
+    st.factor = health == LinkHealth::kDown ? 0.0 : 1.0;
+  }
+  if (health == LinkHealth::kDown) ++down_links_;
+  ++epoch_;
+}
+
+double LinkAvailabilityView::Factor(int link_id) const {
+  return states_.empty()
+             ? 1.0
+             : states_[static_cast<std::size_t>(link_id)].factor;
+}
+
 }  // namespace mgjoin::topo

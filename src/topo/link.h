@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.h"
 
@@ -77,6 +78,58 @@ struct LinkDir {
   int dir = 0;  // 0: a->b, 1: b->a
 
   bool operator==(const LinkDir&) const = default;
+};
+
+/// Operational state of a physical link (fault model; DESIGN.md Sec 10).
+/// A down link admits no new transfers in either direction; a degraded
+/// link runs at a fraction of its effective bandwidth.
+enum class LinkHealth { kUp, kDegraded, kDown };
+
+const char* LinkHealthName(LinkHealth health);
+
+/// \brief Mutable per-link availability overlay on an (immutable)
+/// Topology.
+///
+/// The topology graph never changes at runtime; faults are expressed as
+/// this separate view, owned by the link scheduler and consulted by the
+/// routing policies. `epoch()` increments on every state change, so
+/// cached route decisions can be invalidated cheaply.
+class LinkAvailabilityView {
+ public:
+  /// Sizes the view for `num_links` links, all initially up.
+  void Reset(int num_links);
+
+  /// Transitions `link_id`. `factor` is the bandwidth multiplier kept
+  /// while degraded (ignored for kUp/kDown); must be in (0, 1].
+  void SetHealth(int link_id, LinkHealth health, double factor = 1.0);
+
+  LinkHealth health(int link_id) const {
+    return states_.empty() ? LinkHealth::kUp
+                           : states_[static_cast<std::size_t>(link_id)].health;
+  }
+  bool Up(int link_id) const {
+    return health(link_id) != LinkHealth::kDown;
+  }
+  /// Bandwidth multiplier: 1.0 up, the degrade factor while degraded,
+  /// 0.0 down.
+  double Factor(int link_id) const;
+
+  /// True while no link is down (degraded links still carry traffic, so
+  /// every route stays admissible).
+  bool AllUp() const { return down_links_ == 0; }
+  int down_links() const { return down_links_; }
+
+  /// Number of state transitions applied so far (route-validity epoch).
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  struct State {
+    LinkHealth health = LinkHealth::kUp;
+    double factor = 1.0;
+  };
+  std::vector<State> states_;
+  int down_links_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace mgjoin::topo

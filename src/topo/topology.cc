@@ -1,6 +1,7 @@
 #include "topo/topology.h"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <limits>
 
@@ -88,6 +89,91 @@ Status Topology::Finalize() {
 bool Topology::HasNvLink(int src_gpu, int dst_gpu) const {
   const auto& adj = nvlink_adj_[src_gpu];
   return std::binary_search(adj.begin(), adj.end(), dst_gpu);
+}
+
+namespace {
+
+// Parses the integer suffix of specs like "qpi0"; -1 on malformed.
+int ParseIndexSuffix(const std::string& spec, std::size_t prefix_len) {
+  if (spec.size() <= prefix_len) return -1;
+  int n = 0;
+  for (std::size_t i = prefix_len; i < spec.size(); ++i) {
+    if (spec[i] < '0' || spec[i] > '9') return -1;
+    n = n * 10 + (spec[i] - '0');
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<int> Topology::ResolveLinkSpec(const std::string& spec) const {
+  MGJ_CHECK(finalized_);
+  // gpuA-gpuB: the direct GPU-GPU link.
+  if (spec.rfind("gpu", 0) == 0) {
+    const auto dash = spec.find('-');
+    if (dash == std::string::npos || spec.rfind("gpu", dash + 1) != dash + 1) {
+      return Status::InvalidArgument("bad GPU-pair link spec: " + spec);
+    }
+    const int a = ParseIndexSuffix(spec.substr(0, dash), 3);
+    const int b = ParseIndexSuffix(spec, dash + 4);
+    if (a < 0 || b < 0 || a >= num_gpus() || b >= num_gpus() || a == b) {
+      return Status::InvalidArgument("bad GPU pair in link spec: " + spec);
+    }
+    for (const Link& l : links_) {
+      if ((l.node_a == gpu_nodes_[a] && l.node_b == gpu_nodes_[b]) ||
+          (l.node_a == gpu_nodes_[b] && l.node_b == gpu_nodes_[a])) {
+        return l.id;
+      }
+    }
+    return Status::NotFound("no direct link between gpu" +
+                            std::to_string(a) + " and gpu" +
+                            std::to_string(b));
+  }
+  // linkN: raw link id.
+  if (spec.rfind("link", 0) == 0) {
+    const int id = ParseIndexSuffix(spec, 4);
+    if (id < 0 || id >= num_links()) {
+      return Status::InvalidArgument("bad link id in spec: " + spec);
+    }
+    return id;
+  }
+  // nvlinkN / pcieN / qpiN: Nth link of that type in id order.
+  const auto nth_of_type = [this](bool (*match)(LinkType),
+                                  int n) -> int {
+    for (const Link& l : links_) {
+      if (!match(l.type)) continue;
+      if (n-- == 0) return l.id;
+    }
+    return -1;
+  };
+  struct TypeSpec {
+    const char* prefix;
+    bool (*match)(LinkType);
+  };
+  static constexpr TypeSpec kTypeSpecs[] = {
+      {"nvlink",
+       [](LinkType t) {
+         return t == LinkType::kNvLink1 || t == LinkType::kNvLink2;
+       }},
+      {"pcie", [](LinkType t) { return t == LinkType::kPcie3; }},
+      {"qpi", [](LinkType t) { return t == LinkType::kQpi; }},
+  };
+  for (const TypeSpec& ts : kTypeSpecs) {
+    if (spec.rfind(ts.prefix, 0) != 0) continue;
+    const int n = ParseIndexSuffix(spec, std::strlen(ts.prefix));
+    if (n < 0) break;  // maybe an exact name; fall through
+    const int id = nth_of_type(ts.match, n);
+    if (id < 0) {
+      return Status::NotFound("fewer than " + std::to_string(n + 1) + " " +
+                              ts.prefix + " links in this topology");
+    }
+    return id;
+  }
+  // Exact Link::ToString() match.
+  for (const Link& l : links_) {
+    if (l.ToString() == spec) return l.id;
+  }
+  return Status::NotFound("unknown link spec: " + spec);
 }
 
 const Channel& Topology::channel(int src_gpu, int dst_gpu) const {

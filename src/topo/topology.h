@@ -83,6 +83,15 @@ class Topology {
   /// True if the ordered pair is connected by a dedicated NVLink link.
   bool HasNvLink(int src_gpu, int dst_gpu) const;
 
+  /// \brief Resolves a human-readable link spec to a link id (used by
+  /// the fault-plan front ends).
+  ///
+  /// Accepted forms: `gpuA-gpuB` (the GPU-GPU NVLink between dense GPU
+  /// indices A and B), `nvlinkN` / `pcieN` / `qpiN` (the Nth link of
+  /// that type in link-id order), `linkN` (raw link id), or an exact
+  /// Link::ToString() name such as `QPI(18<->19)`.
+  Result<int> ResolveLinkSpec(const std::string& spec) const;
+
   /// Direct channel for an ordered GPU pair (src != dst).
   const Channel& channel(int src_gpu, int dst_gpu) const;
 

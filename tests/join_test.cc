@@ -383,6 +383,23 @@ TEST(MgJoinTest, VirtualScaleScalesTimingNotResults) {
             64 * res1.value().virtual_input_tuples);
 }
 
+TEST(MgJoinTest, FractionalVirtualScaleRoundsTupleCounts) {
+  // 50000 x 2.5 = 125000 exactly; truncation-era code computed most
+  // scaled products one short at fractional scales. Pin the rounded
+  // behavior.
+  auto topo = topo::MakeDgx1V();
+  GenOptions opts;
+  opts.tuples_per_relation = 50000;
+  opts.num_gpus = 4;
+  auto [r, s] = MakeJoinInput(opts);
+  MgJoinOptions half;
+  half.virtual_scale = 2.5;
+  auto res = MgJoin(topo.get(), topo::FirstNGpus(4), half).Execute(r, s);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().input_tuples, 2 * 50000u);
+  EXPECT_EQ(res.value().virtual_input_tuples, 250000u);
+}
+
 TEST(MgJoinTest, SingleGpuHasNoNetworkTraffic) {
   auto topo = topo::MakeSingleGpu();
   GenOptions opts;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/random.h"
@@ -16,8 +17,10 @@
 #include "join/local_join.h"
 #include "join/mg_join.h"
 #include "join/partition_assignment.h"
+#include "net/fault_plan.h"
 #include "net/routing_policy.h"
 #include "net/transfer_engine.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "topo/presets.h"
 
@@ -86,6 +89,85 @@ INSTANTIATE_TEST_SUITE_P(
         NetCase{net::PolicyKind::kCentralized, 16 * kMiB, 2 * kMiB, 4},
         NetCase{net::PolicyKind::kAdaptive, 4 * kMiB, 256 * kKiB, 3},
         NetCase{net::PolicyKind::kAdaptive, 16 * kMiB, 2 * kMiB, 2}));
+
+// ---------------------------------------------------------------------------
+// Fault schedules: any plan whose downed links eventually come back is
+// survivable. Random GPU subsets, random link faults, random policies —
+// every byte must still arrive exactly once, with no payload loss and
+// no deadlock-watchdog trip.
+
+class FaultScheduleFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultScheduleFuzzTest, SurvivablePlansDeliverEverything) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9ull + 17);
+  sim::Simulator s;
+  auto topo = topo::MakeDgx1V();
+
+  // Random participant subset of at least two GPUs.
+  std::vector<int> all{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(&all);
+  const int g = 2 + static_cast<int>(rng.Uniform(7));
+  std::vector<int> gpus(all.begin(), all.begin() + g);
+  std::sort(gpus.begin(), gpus.end());
+
+  // Random survivable plan: every down is paired with a later restore
+  // (degrades need no repair — the link keeps carrying traffic).
+  net::FaultPlan plan;
+  std::set<int> used;
+  const int num_faults = 1 + static_cast<int>(rng.Uniform(3));
+  for (int i = 0; i < num_faults; ++i) {
+    const int link = static_cast<int>(
+        rng.Uniform(static_cast<std::uint64_t>(topo->num_links())));
+    if (!used.insert(link).second) continue;
+    const sim::SimTime at = rng.Uniform(2 * sim::kMillisecond);
+    const sim::SimTime hold =
+        100 * sim::kMicrosecond + rng.Uniform(2 * sim::kMillisecond);
+    if (rng.Uniform(3) == 0) {
+      plan.Degrade(link, 0.1 + 0.8 * rng.NextDouble(), at);
+    } else {
+      plan.Down(link, at);
+      plan.Restore(link, at + hold);
+    }
+  }
+
+  net::TransferOptions opts;
+  opts.faults = plan;
+  obs::InvariantAuditor auditor;
+  std::vector<std::string> failures;
+  auditor.set_failure_handler(
+      [&failures](const std::string& m) { failures.push_back(m); });
+  opts.obs.auditor = &auditor;
+  const net::PolicyKind kinds[] = {net::PolicyKind::kAdaptive,
+                                   net::PolicyKind::kBandwidth,
+                                   net::PolicyKind::kDirect};
+  auto policy = net::MakePolicy(kinds[rng.Uniform(3)],
+                                opts.max_intermediates);
+  net::TransferEngine eng(&s, topo.get(), gpus, policy.get(), opts);
+
+  std::map<std::uint64_t, std::uint64_t> delivered, expected;
+  eng.set_deliver_callback([&delivered](const net::Packet& p, sim::SimTime) {
+    delivered[p.flow_id] += p.payload_bytes;
+  });
+  std::uint64_t id = 0;
+  for (int a : gpus) {
+    for (int b : gpus) {
+      if (a == b) continue;
+      const std::uint64_t bytes = 1 + rng.Uniform(4 * kMiB);
+      expected[id] = bytes;
+      eng.AddFlow(net::Flow{id++, a, b, bytes, 0, 0.0});
+    }
+  }
+  eng.Start();
+  s.Run();
+  ASSERT_TRUE(eng.AllDone()) << plan.ToString(*topo);
+  EXPECT_EQ(delivered, expected) << plan.ToString(*topo);
+  EXPECT_TRUE(failures.empty())
+      << "auditor tripped: " << failures.front() << "\nplan:\n"
+      << plan.ToString(*topo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleFuzzTest,
+                         ::testing::Range(1, 13));
 
 // ---------------------------------------------------------------------------
 // Route invariants over every pair on both machines.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,44 @@ TEST(SimTimeTest, RoundTripsAtPicosecondExtremes) {
   EXPECT_EQ(FromSeconds(1e-12), SimTime{1});  // one picosecond
   EXPECT_EQ(FromSeconds(0.0), SimTime{0});
   EXPECT_DOUBLE_EQ(ToSeconds(SimTime{1}), 1e-12);
+}
+
+TEST(SimTimeTest, FromSecondsClampsPathologicalInputs) {
+  // A negative double cast straight to the unsigned SimTime would wrap
+  // to centuries of simulated time; these must all pin to zero instead.
+  EXPECT_EQ(FromSeconds(-1.0), SimTime{0});
+  EXPECT_EQ(FromSeconds(-1e-15), SimTime{0});
+  EXPECT_EQ(FromSeconds(-std::numeric_limits<double>::infinity()),
+            SimTime{0});
+  EXPECT_EQ(FromSeconds(std::numeric_limits<double>::quiet_NaN()),
+            SimTime{0});
+  // Beyond-range inputs saturate instead of overflowing the cast.
+  EXPECT_EQ(FromSeconds(1e30), kSimTimeMax);
+  EXPECT_EQ(FromSeconds(std::numeric_limits<double>::infinity()),
+            kSimTimeMax);
+}
+
+TEST(SimTimeTest, TransferTimeIsExactBeyondDoublePrecision) {
+  // At 1 TB/s one byte is exactly 1 ps, so the answer equals the byte
+  // count. Above 2^53 a pure double product rounds to an even integer
+  // and drops the trailing byte — the fixed-point path must not.
+  EXPECT_EQ(TransferTime((1ull << 53) + 1, 1e12), (1ull << 53) + 1);
+  EXPECT_EQ(TransferTime(1000000000000ull, 1e12), kSecond);
+  EXPECT_EQ(TransferTime(1000000000ull, 1e9), kSecond);
+}
+
+TEST(SimTimeTest, TransferTimeEdgeRates) {
+  EXPECT_EQ(TransferTime(0, 25e9), SimTime{0});
+  // Zero, negative or NaN bandwidth means "never": saturate, don't
+  // divide.
+  EXPECT_EQ(TransferTime(1, 0.0), kSimTimeMax);
+  EXPECT_EQ(TransferTime(1, -5.0), kSimTimeMax);
+  EXPECT_EQ(TransferTime(1, std::numeric_limits<double>::quiet_NaN()),
+            kSimTimeMax);
+  // A rate slow enough to overflow the fixed-point ps-per-byte clamps.
+  EXPECT_EQ(TransferTime(1, 1e-10), kSimTimeMax);
+  // So does a product that exceeds the representable horizon.
+  EXPECT_EQ(TransferTime(1ull << 60, 1e9), kSimTimeMax);
 }
 
 TEST(SimulatorTest, RunUntilBoundaryIsInclusive) {

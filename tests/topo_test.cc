@@ -87,6 +87,34 @@ TEST_F(Dgx1Test, EveryGpuHasSixNvLinkBricks) {
   for (int g = 0; g < 8; ++g) EXPECT_EQ(bricks[g], 6) << "GPU " << g;
 }
 
+TEST_F(Dgx1Test, ResolveLinkSpecAcceptsEveryForm) {
+  // gpuA-gpuB finds the direct link regardless of order.
+  const int l03 = topo_->ResolveLinkSpec("gpu0-gpu3").ValueOrDie();
+  EXPECT_EQ(topo_->ResolveLinkSpec("gpu3-gpu0").ValueOrDie(), l03);
+  const Link& link = topo_->link(l03);
+  EXPECT_TRUE(link.type == LinkType::kNvLink1 ||
+              link.type == LinkType::kNvLink2);
+
+  // linkN is the raw id; typeN is the Nth link of that type in id
+  // order; an exact Link::ToString() name also resolves.
+  EXPECT_EQ(topo_->ResolveLinkSpec("link0").ValueOrDie(), 0);
+  const int qpi = topo_->ResolveLinkSpec("qpi0").ValueOrDie();
+  EXPECT_EQ(topo_->link(qpi).type, LinkType::kQpi);
+  const int nv = topo_->ResolveLinkSpec("nvlink0").ValueOrDie();
+  EXPECT_NE(topo_->link(nv).type, LinkType::kPcie3);
+  EXPECT_EQ(topo_->ResolveLinkSpec(link.ToString()).ValueOrDie(), l03);
+}
+
+TEST_F(Dgx1Test, ResolveLinkSpecRejectsUnknownLinks) {
+  EXPECT_FALSE(topo_->ResolveLinkSpec("").ok());
+  EXPECT_FALSE(topo_->ResolveLinkSpec("gpu0-gpu0").ok());   // self pair
+  EXPECT_FALSE(topo_->ResolveLinkSpec("gpu0-gpu9").ok());   // no such GPU
+  EXPECT_FALSE(topo_->ResolveLinkSpec("gpu0-gpu6").ok());   // not adjacent
+  EXPECT_FALSE(topo_->ResolveLinkSpec("link99").ok());      // id range
+  EXPECT_FALSE(topo_->ResolveLinkSpec("qpi5").ok());        // only one QPI
+  EXPECT_FALSE(topo_->ResolveLinkSpec("warpdrive0").ok());  // nonsense
+}
+
 TEST_F(Dgx1Test, NvLinkAdjacencyMatchesCubeMesh) {
   // Spot-check the hybrid cube mesh.
   EXPECT_TRUE(topo_->HasNvLink(0, 1));
