@@ -11,7 +11,7 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Ablation: link faults",
+  PrintHeader("ablation_faults", "Ablation: link faults",
               "total join time (ms) per policy under injected faults, "
               "8 GPUs");
   auto topo = topo::MakeDgx1V();
@@ -39,10 +39,12 @@ int main() {
       net::PolicyKind::kDirect,
   };
 
+  BenchReport& rep = BenchReport::Instance();
   std::printf("%-22s %-12s %-10s %-8s %-9s %-7s\n", "scenario", "policy",
               "total_ms", "slowdn", "reroutes", "waits");
   for (const net::PolicyKind kind : policies) {
     double base = 0;
+    rep.Meta(net::PolicyKindName(kind), "ms", false);
     for (const Scenario& sc : scenarios) {
       join::MgJoinOptions opts;
       opts.policy = kind;
@@ -55,6 +57,7 @@ int main() {
                   net::PolicyKindName(kind), ms, ms / base,
                   static_cast<unsigned long long>(res.net.fault_reroutes),
                   static_cast<unsigned long long>(res.net.fault_waits));
+      rep.Point(net::PolicyKindName(kind), std::string(sc.name), ms);
     }
   }
   return 0;

@@ -8,7 +8,7 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Ablation: feature removal",
+  PrintHeader("ablation_features", "Ablation: feature removal",
               "total join time (ms), 8 GPUs, one feature disabled at a "
               "time");
   auto topo = topo::MakeDgx1V();
@@ -40,6 +40,8 @@ int main() {
       {"- overlap (bulk transfer)", no_overlap},
       {"DPRJ (all removed)", join::MgJoinOptions::Dprj()},
   };
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("total_ms", "ms", false);
   std::printf("%-34s %-10s %-12s\n", "variant", "total_ms", "vs_full");
   double base = 0;
   for (const Variant& v : variants) {
@@ -47,6 +49,7 @@ int main() {
     const double ms = sim::ToMillis(res.timing.total);
     if (base == 0) base = ms;
     std::printf("%-34s %-10.1f %.2fx\n", v.name, ms, ms / base);
+    rep.Point("total_ms", std::string(v.name), ms);
   }
   return 0;
 }

@@ -7,11 +7,12 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Ablation: packet x batch",
+  PrintHeader("ablation_packet_batch", "Ablation: packet x batch",
               "distribution time (ms), 8 GPUs, adaptive routing");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
   const auto gpus = topo::FirstNGpus(8);
-  const std::uint64_t total = 8ull * 512 * kMTuples * 2 * 8;  // bytes
+  const std::uint64_t total = PaperShuffleBytes(8);
   const auto flows = ShuffleFlows(gpus, total);
 
   std::printf("%-12s", "packet_KiB");
@@ -25,7 +26,12 @@ int main() {
       opts.batch_packets = b;
       const auto run = RunDistribution(topo.get(), gpus, flows,
                                        net::PolicyKind::kAdaptive, opts);
-      std::printf(" %-12.1f", sim::ToMillis(run.stats.Makespan()));
+      const double ms = sim::ToMillis(run.stats.Makespan());
+      std::printf(" %-12.1f", ms);
+      char series[24];
+      std::snprintf(series, sizeof(series), "batch=%d", b);
+      rep.Meta(series, "ms", false);
+      rep.Point(series, static_cast<double>(kb), ms);
     }
     std::printf("\n");
   }

@@ -9,19 +9,23 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 1",
+  PrintHeader("fig01_motivation", "Figure 1",
               "cycles/tuple of UMJ and DPRJ with DPRJ transfer/compute "
               "breakdown");
   std::printf(
       "# cycles are aggregated over the 80 SMs (time x clock x SMs / "
       "tuples per GPU)\n");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("DPRJ cycles/tuple", "cycles", false);
+  rep.Meta("DPRJ transfer", "cycles", false);
+  rep.Meta("UMJ cycles/tuple", "cycles", false);
   std::printf("%-6s %-22s %-14s %-14s %-14s\n", "gpus", "series",
               "cycles/tuple", "transfer", "compute");
   for (int g : {1, 2, 4, 8}) {
     auto gpus = topo::FirstNGpus(g);
     auto [r, s] = PaperInput(g);
-    const std::uint64_t per_gpu = 2 * kFuncTuplesPerGpu * kPaperScale;
+    const std::uint64_t per_gpu = 2 * ScaledTuplesPerGpu() * kPaperScale;
 
     const join::JoinResult dprj =
         RunJoin(topo.get(), gpus, r, s, join::MgJoinOptions::Dprj());
@@ -30,13 +34,17 @@ int main() {
         80 * CyclesPerTuple(dprj.timing.distribution_exposed, per_gpu);
     std::printf("%-6d %-22s %-14.1f %-14.1f %-14.1f\n", g,
                 "DPRJ", total_cpt, xfer_cpt, total_cpt - xfer_cpt);
+    rep.Point("DPRJ cycles/tuple", g, total_cpt);
+    rep.Point("DPRJ transfer", g, xfer_cpt);
 
     join::UmjOptions uo;
     uo.virtual_scale = kPaperScale;
     join::UmJoin umj(topo.get(), gpus, uo);
     const join::JoinResult ur = umj.Execute(r, s).ValueOrDie();
-    std::printf("%-6d %-22s %-14.1f %-14s %-14s\n", g, "UMJ",
-                80 * CyclesPerTuple(ur.timing.total, per_gpu), "-", "-");
+    const double umj_cpt = 80 * CyclesPerTuple(ur.timing.total, per_gpu);
+    std::printf("%-6d %-22s %-14.1f %-14s %-14s\n", g, "UMJ", umj_cpt, "-",
+                "-");
+    rep.Point("UMJ cycles/tuple", g, umj_cpt);
   }
   std::printf(
       "# paper shape: both scale poorly; DPRJ transfer share grows to "

@@ -7,19 +7,27 @@
 using namespace mgjoin;
 
 int main() {
-  bench::PrintHeader("Figure 4",
+  bench::PrintHeader("fig04_packet_size", "Figure 4",
                      "link throughput vs packet size (GB/s)");
+  bench::BenchReport& rep = bench::BenchReport::Instance();
+  for (const char* s : {"PCIe", "NVLink", "QPI"}) {
+    rep.Meta(s, "GB/s", true);
+  }
   std::printf("%-12s %-10s %-10s %-10s\n", "packet_KiB", "PCIe", "NVLink",
               "QPI");
   for (std::uint64_t kb = 2; kb <= 16384; kb *= 2) {
+    const double pcie =
+        topo::EffectiveBandwidth(topo::LinkType::kPcie3, kb * kKiB) / kGBps;
+    const double nvlink =
+        topo::EffectiveBandwidth(topo::LinkType::kNvLink1, kb * kKiB) /
+        kGBps;
+    const double qpi =
+        topo::EffectiveBandwidth(topo::LinkType::kQpi, kb * kKiB) / kGBps;
     std::printf("%-12llu %-10.2f %-10.2f %-10.2f\n",
-                static_cast<unsigned long long>(kb),
-                topo::EffectiveBandwidth(topo::LinkType::kPcie3,
-                                         kb * kKiB) / kGBps,
-                topo::EffectiveBandwidth(topo::LinkType::kNvLink1,
-                                         kb * kKiB) / kGBps,
-                topo::EffectiveBandwidth(topo::LinkType::kQpi,
-                                         kb * kKiB) / kGBps);
+                static_cast<unsigned long long>(kb), pcie, nvlink, qpi);
+    rep.Point("PCIe", static_cast<double>(kb), pcie);
+    rep.Point("NVLink", static_cast<double>(kb), nvlink);
+    rep.Point("QPI", static_cast<double>(kb), qpi);
   }
   std::printf(
       "# paper shape: ~20x degradation at 2 KB; saturation near 12 MB\n");

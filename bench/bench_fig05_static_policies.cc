@@ -11,22 +11,27 @@ using namespace mgjoin::bench;
 namespace {
 
 // |R|+|S| = 1B tuples x 8 bytes (paper: 512M tuples each).
-constexpr std::uint64_t kTotalBytes = 1024ull * kMTuples * 8;
+inline std::uint64_t TotalBytes() {
+  return static_cast<std::uint64_t>(1024.0 * kMTuples * 8 /
+                                    BenchScaleDiv());
+}
 
 void RunConfig(const topo::Topology* topo, const std::vector<int>& gpus,
                const std::string& label, double zipf,
                std::uint64_t packet_bytes) {
   net::TransferOptions opts;
   opts.packet_bytes = packet_bytes;
-  const auto flows = ShuffleFlows(gpus, kTotalBytes, zipf);
+  const auto flows = ShuffleFlows(gpus, TotalBytes(), zipf);
   for (net::PolicyKind kind :
        {net::PolicyKind::kBandwidth, net::PolicyKind::kHopCount,
         net::PolicyKind::kLatency}) {
     const DistributionRun run =
         RunDistribution(topo, gpus, flows, kind, opts);
+    const double ms = sim::ToMillis(run.stats.Makespan());
     std::printf("%-16s %-12s %-10.1f\n", label.c_str(),
-                net::PolicyKindName(kind),
-                sim::ToMillis(run.stats.Makespan()));
+                net::PolicyKindName(kind), ms);
+    BenchReport::Instance().Point(net::PolicyKindName(kind),
+                                  label, ms);
   }
 }
 
@@ -35,14 +40,20 @@ void RunConfig(const topo::Topology* topo, const std::vector<int>& gpus,
 int main() {
   auto topo = topo::MakeDgx1V();
 
-  PrintHeader("Figure 5a", "static policy time (ms) vs GPU subset");
+  for (net::PolicyKind kind :
+       {net::PolicyKind::kBandwidth, net::PolicyKind::kHopCount,
+        net::PolicyKind::kLatency}) {
+    BenchReport::Instance().Meta(net::PolicyKindName(kind), "ms", false);
+  }
+  PrintHeader("fig05_static_policies", "Figure 5a",
+              "static policy time (ms) vs GPU subset");
   std::printf("%-16s %-12s %-10s\n", "config", "policy", "time_ms");
   RunConfig(topo.get(), {0, 3, 4}, "{0,3,4}", 0.0, 2 * kMiB);
   RunConfig(topo.get(), {0, 3, 4, 7}, "{0,3,4,7}", 0.0, 2 * kMiB);
   RunConfig(topo.get(), {0, 1, 2, 3, 4}, "{0,1,2,3,4}", 0.0, 2 * kMiB);
 
   std::printf("\n");
-  PrintHeader("Figure 5b",
+  PrintHeader("fig05_static_policies", "Figure 5b",
               "static policy time (ms) vs packet size (KB) and Zipf "
               "factor, GPUs {0,3,4,7}");
   std::printf("%-16s %-12s %-10s\n", "packet(zipf)", "policy", "time_ms");

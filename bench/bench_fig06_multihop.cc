@@ -8,15 +8,18 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 6",
+  PrintHeader("fig06_multihop", "Figure 6",
               "distribution throughput (GB/s): multi-hop vs direct");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("DPRJ", "GB/s", true);
+  rep.Meta("MG-Join", "GB/s", true);
   std::printf("%-6s %-10s %-10s %-8s\n", "gpus", "DPRJ", "MG-Join",
               "ratio");
   for (int g = 2; g <= 8; ++g) {
     const auto gpus = topo::FirstNGpus(g);
     // Per-GPU resident bytes: 512M tuples x 8 B x 2 relations.
-    const std::uint64_t total = static_cast<std::uint64_t>(g) * 512 * kMTuples * 2 * 8;  // bytes
+    const std::uint64_t total = PaperShuffleBytes(g);
     const auto flows = ShuffleFlows(gpus, total);
     const auto direct =
         RunDistribution(topo.get(), gpus, flows, net::PolicyKind::kDirect);
@@ -25,6 +28,8 @@ int main() {
     const double d = direct.stats.Throughput() / kGBps;
     const double m = multihop.stats.Throughput() / kGBps;
     std::printf("%-6d %-10.1f %-10.1f %-8.2f\n", g, d, m, m / d);
+    rep.Point("DPRJ", g, d);
+    rep.Point("MG-Join", g, m);
   }
   std::printf(
       "# paper shape: equal at 2-3 GPUs; multi-hop up to 2.35x at 8\n");

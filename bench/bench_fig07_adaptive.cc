@@ -7,21 +7,25 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 7",
+  PrintHeader("fig07_adaptive", "Figure 7",
               "distribution throughput (GB/s): adaptive vs static");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
   std::printf("%-6s %-11s %-11s %-11s %-11s\n", "gpus", "Bandwidth",
               "HopCount", "Latency", "MG-Join");
   for (int g = 2; g <= 8; ++g) {
     const auto gpus = topo::FirstNGpus(g);
-    const std::uint64_t total = static_cast<std::uint64_t>(g) * 512 * kMTuples * 2 * 8;  // bytes
+    const std::uint64_t total = PaperShuffleBytes(g);
     const auto flows = ShuffleFlows(gpus, total);
     std::printf("%-6d", g);
     for (net::PolicyKind kind :
          {net::PolicyKind::kBandwidth, net::PolicyKind::kHopCount,
           net::PolicyKind::kLatency, net::PolicyKind::kAdaptive}) {
       const auto run = RunDistribution(topo.get(), gpus, flows, kind);
-      std::printf(" %-11.1f", run.stats.Throughput() / kGBps);
+      const double gbps = run.stats.Throughput() / kGBps;
+      std::printf(" %-11.1f", gbps);
+      rep.Meta(net::PolicyKindName(kind), "GB/s", true);
+      rep.Point(net::PolicyKindName(kind), g, gbps);
     }
     std::printf("\n");
   }

@@ -7,22 +7,28 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 8", "bisection-bandwidth utilization (%)");
+  PrintHeader("fig08_bisection_util", "Figure 8",
+              "bisection-bandwidth utilization (%)");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("DPRJ", "%", true);
+  rep.Meta("MG-Join", "%", true);
   std::printf("%-6s %-10s %-10s %-14s\n", "gpus", "DPRJ", "MG-Join",
               "bisection");
   for (int g : {4, 6, 8}) {
     const auto gpus = topo::FirstNGpus(g);
-    const std::uint64_t total = static_cast<std::uint64_t>(g) * 512 * kMTuples * 2 * 8;  // bytes
+    const std::uint64_t total = PaperShuffleBytes(g);
     const auto flows = ShuffleFlows(gpus, total);
     const auto direct =
         RunDistribution(topo.get(), gpus, flows, net::PolicyKind::kDirect);
     const auto adaptive = RunDistribution(topo.get(), gpus, flows,
                                           net::PolicyKind::kAdaptive);
-    std::printf("%-6d %-10.1f %-10.1f %-14s\n", g,
-                100.0 * direct.Utilization(),
-                100.0 * adaptive.Utilization(),
+    const double du = 100.0 * direct.Utilization();
+    const double au = 100.0 * adaptive.Utilization();
+    std::printf("%-6d %-10.1f %-10.1f %-14s\n", g, du, au,
                 FormatBandwidth(adaptive.bisection_bw).c_str());
+    rep.Point("DPRJ", g, du);
+    rep.Point("MG-Join", g, au);
   }
   std::printf(
       "# paper shape: DPRJ drops to ~30%%; MG-Join reaches ~97%% at 8 "

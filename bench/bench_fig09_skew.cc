@@ -8,12 +8,13 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 9",
+  PrintHeader("fig09_skew", "Figure 9",
               "normalized performance vs placement skew (1.0 = that "
               "policy's z=0 performance)");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
   const auto gpus = topo::FirstNGpus(8);
-  const std::uint64_t total = 8ull * 512 * kMTuples * 2 * 8;  // bytes
+  const std::uint64_t total = PaperShuffleBytes(8);
 
   const net::PolicyKind kinds[] = {
       net::PolicyKind::kBandwidth, net::PolicyKind::kHopCount,
@@ -33,6 +34,8 @@ int main() {
       std::snprintf(cell, sizeof(cell), "%.3f (%.0fGB/s)", base[k] / t,
                     run.stats.Throughput() / kGBps);
       std::printf(" %-16s", cell);
+      rep.Meta(net::PolicyKindName(kinds[k]), "x", true);
+      rep.Point(net::PolicyKindName(kinds[k]), z, base[k] / t);
     }
     std::printf("\n");
   }

@@ -9,15 +9,19 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 10",
+  PrintHeader("fig10_centralized", "Figure 10",
               "distribution cost per tuple (ps): MG-Join vs "
               "MGJ-Baseline (transfer + sync)");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("MG-Join", "ps/tuple", false);
+  rep.Meta("baseline-transfer", "ps/tuple", false);
+  rep.Meta("baseline-sync", "ps/tuple", false);
   std::printf("%-6s %-10s %-18s %-18s\n", "gpus", "MG-Join",
               "baseline-transfer", "baseline-sync");
   for (int g : {2, 4, 8}) {
     const auto gpus = topo::FirstNGpus(g);
-    const std::uint64_t tuples = 2ull * g * 512 * kMTuples;
+    const std::uint64_t tuples = PaperShuffleBytes(g) / 8;
     const std::uint64_t total = tuples * 8;
     const auto flows = ShuffleFlows(gpus, total);
 
@@ -39,6 +43,9 @@ int main() {
     std::printf("%-6d %-10.1f %-18.1f %-18.1f\n", g,
                 per_tuple(adaptive.stats.Makespan()), transfer,
                 sync > 0 ? sync : 0.0);
+    rep.Point("MG-Join", g, per_tuple(adaptive.stats.Makespan()));
+    rep.Point("baseline-transfer", g, transfer);
+    rep.Point("baseline-sync", g, sync > 0 ? sync : 0.0);
   }
   std::printf(
       "# paper shape: centralized transfers up to 3%% better, but sync "

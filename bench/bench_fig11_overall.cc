@@ -9,8 +9,12 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 11", "join throughput (B tuples/s)");
+  PrintHeader("fig11_overall", "Figure 11", "join throughput (B tuples/s)");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("UMJ", "Btuples/s", true);
+  rep.Meta("DPRJ", "Btuples/s", true);
+  rep.Meta("MG-Join", "Btuples/s", true);
   std::printf("%-6s %-8s %-8s %-8s\n", "gpus", "UMJ", "DPRJ", "MG-Join");
   for (int g = 1; g <= 8; ++g) {
     const auto gpus = topo::FirstNGpus(g);
@@ -25,6 +29,9 @@ int main() {
     const auto mg = RunJoin(topo.get(), gpus, r, s, join::MgJoinOptions{});
     std::printf("%-6d %-8.2f %-8.2f %-8.2f\n", g, umj.Throughput() / 1e9,
                 dprj.Throughput() / 1e9, mg.Throughput() / 1e9);
+    rep.Point("UMJ", g, umj.Throughput() / 1e9);
+    rep.Point("DPRJ", g, dprj.Throughput() / 1e9);
+    rep.Point("MG-Join", g, mg.Throughput() / 1e9);
   }
   std::printf(
       "# paper shape: MG-Join close to linear scaling, up to 2.5x over "

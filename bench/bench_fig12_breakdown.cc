@@ -8,9 +8,12 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 12",
+  PrintHeader("fig12_breakdown", "Figure 12",
               "% of execution time: data distribution vs computation");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("DPRJ distribution%", "%", false);
+  rep.Meta("MG-Join distribution%", "%", false);
   std::printf("%-8s %-14s %-14s\n", "config", "distribution%", "compute%");
   for (int g = 2; g <= 8; ++g) {
     const auto gpus = topo::FirstNGpus(g);
@@ -24,6 +27,8 @@ int main() {
           static_cast<double>(res.timing.total);
       std::printf("%d(%s)%*s %-14.1f %-14.1f\n", g, mg ? "M" : "P", 3, "",
                   dist, 100.0 - dist);
+      rep.Point(mg ? "MG-Join distribution%" : "DPRJ distribution%", g,
+                dist);
     }
   }
   std::printf(

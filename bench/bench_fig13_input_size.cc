@@ -8,13 +8,20 @@ using namespace mgjoin;
 using namespace mgjoin::bench;
 
 int main() {
-  PrintHeader("Figure 13",
+  PrintHeader("fig13_input_size", "Figure 13",
               "throughput (B tuples/s) vs total input size, 8 GPUs");
   auto topo = topo::MakeDgx1V();
+  BenchReport& rep = BenchReport::Instance();
+  rep.Meta("UMJ", "Btuples/s", true);
+  rep.Meta("DPRJ", "Btuples/s", true);
+  rep.Meta("MG-Join", "Btuples/s", true);
   const auto gpus = topo::FirstNGpus(8);
   std::printf("%-12s %-8s %-8s %-8s\n", "M_tuples", "UMJ", "DPRJ",
               "MG-Join");
-  const std::uint64_t func_total = 8 * (1ull << 18);  // per relation
+  const std::uint64_t func_total =
+      std::max<std::uint64_t>(8 * ((1ull << 18) / static_cast<std::uint64_t>(
+                                       BenchScaleDiv())),
+                              8ull << 12);  // per relation
   for (std::uint64_t m : {512, 1024, 1536, 2048, 3072, 4096}) {
     // |R|+|S| = m M tuples; per relation m/2.
     const double scale =
@@ -36,6 +43,10 @@ int main() {
     std::printf("%-12llu %-8.2f %-8.2f %-8.2f\n",
                 static_cast<unsigned long long>(m), umj.Throughput() / 1e9,
                 dprj.Throughput() / 1e9, mg.Throughput() / 1e9);
+    const double x = static_cast<double>(m);
+    rep.Point("UMJ", x, umj.Throughput() / 1e9);
+    rep.Point("DPRJ", x, dprj.Throughput() / 1e9);
+    rep.Point("MG-Join", x, mg.Throughput() / 1e9);
   }
   std::printf(
       "# paper shape: MG-Join wins at every size; overall 10.2x over "

@@ -14,6 +14,13 @@ using namespace mgjoin::bench;
 
 int main() {
   std::printf("# Figure 14 — TPC-H SF 250 query times (s), 8 GPUs\n");
+  BenchReport& rep = BenchReport::Instance();
+  rep.Begin("fig14_tpch", "Figure 14",
+            "TPC-H SF 250 query times (s), 8 GPUs");
+  rep.Meta("OmnisciCPU", "s", false);
+  rep.Meta("OmnisciGPU", "s", false);
+  rep.Meta("DPRJ", "s", false);
+  rep.Meta("MG-Join", "s", false);
   const double kFuncSf = 0.05;
   const double kVirtualSf = 250.0;
   auto topo = topo::MakeDgx1V();
@@ -48,6 +55,12 @@ int main() {
                 name.c_str(), sim::ToSeconds(cpu.time), gpu_cell,
                 sim::ToSeconds(dprj.time), sim::ToSeconds(mg.time),
                 mg.value);
+    rep.Point("OmnisciCPU", name, sim::ToSeconds(cpu.time));
+    if (gpu.supported) {
+      rep.Point("OmnisciGPU", name, sim::ToSeconds(gpu.time));
+    }
+    rep.Point("DPRJ", name, sim::ToSeconds(dprj.time));
+    rep.Point("MG-Join", name, sim::ToSeconds(mg.time));
   }
   std::printf(
       "# paper shape: OmniSci GPU NA for Q3/Q5/Q10/Q12 at SF 250; "

@@ -3,11 +3,29 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace mgjoin {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::vector<std::function<void()>>& FatalHooks() {
+  static std::vector<std::function<void()>> hooks;
+  return hooks;
+}
+
+void RunFatalHooks() {
+  // A hook may CHECK-fail (e.g. while flushing a corrupted recorder);
+  // the guard keeps the second fatal path from re-running the chain.
+  static bool running = false;
+  if (running) return;
+  running = true;
+  auto& hooks = FatalHooks();
+  for (auto it = hooks.rbegin(); it != hooks.rend(); ++it) {
+    (*it)();
+  }
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,6 +47,10 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void AtFatal(std::function<void()> fn) {
+  FatalHooks().push_back(std::move(fn));
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -44,6 +66,9 @@ LogMessage::~LogMessage() {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   if (level_ == LogLevel::kFatal) {
+    // The message is already on stderr; give registered hooks a chance
+    // to flush diagnostics (traces, metrics) before the abort.
+    RunFatalHooks();
     std::abort();
   }
 }

@@ -1,6 +1,7 @@
 #ifndef MGJOIN_COMMON_LOGGING_H_
 #define MGJOIN_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,16 @@ enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kFatal };
 /// so that library code stays quiet in benchmarks unless asked.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// \brief Registers `fn` to run after a Fatal message is printed and
+/// before the process aborts — the hook for flushing diagnostics (the
+/// bench harness flushes its Chrome trace here, so a crashed run keeps
+/// the trace that explains it).
+///
+/// Hooks run in reverse registration order, each at most once per
+/// process; a hook that itself fails fatally does not re-enter the
+/// chain. Not removable: registrants must be process-lifetime objects.
+void AtFatal(std::function<void()> fn);
 
 namespace internal {
 

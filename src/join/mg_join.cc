@@ -148,6 +148,12 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
       tr->Span(tr->Track("join.gpu" + std::to_string(gpus_[d])), "join",
                "global_partition", hist_end, hist_end + gp_time[d]);
     }
+    // The GPU set's min-cut bisection bandwidth, so achieved-vs-peak
+    // utilization can be computed from the trace alone (report
+    // pipeline's congestion analysis).
+    const auto cut = topo_->MinBisectionCut(gpus_);
+    tr->Instant(tr->Track("net.info"), "net", "bisection", 0,
+                {{"bps", static_cast<std::uint64_t>(cut.bandwidth)}});
   }
 
   // ---- Phase 3 + 4: local partitioning and probe, per GPU.
@@ -215,8 +221,13 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
     nodist_end = std::max(nodist_end, compute_end + probe_t);
     if (tr != nullptr) {
       const int track = tr->Track("join.gpu" + std::to_string(gpus_[d]));
-      tr->Span(track, "join", "local_partition",
-               hist_end + gp_time[d], compute_end);
+      // Without overlap the local partition really runs only after the
+      // whole distribution lands; place the span at its true interval
+      // so critical-path attribution charges the wait to the network.
+      const sim::SimTime lp_begin = options_.overlap
+                                        ? hist_end + gp_time[d]
+                                        : probe_start - lp_t;
+      tr->Span(track, "join", "local_partition", lp_begin, lp_begin + lp_t);
       tr->Span(track, "join", "probe", probe_start, probe_start + probe_t,
                {{"recv_tuples", recv_r + recv_s}});
     }

@@ -23,15 +23,28 @@ std::string LinkStateTable::DirName(topo::LinkDir ld) const {
 }
 
 void LinkStateTable::RecordLeg(topo::LinkDir ld, sim::SimTime start,
-                               sim::SimTime end, std::uint64_t bytes) {
+                               sim::SimTime end, std::uint64_t bytes,
+                               sim::SimTime queued) {
+  const std::uint64_t queue_ns = queued / 1000;
   if (hooks_.trace != nullptr) {
     int& track = dir_tracks_[Index(ld)];
-    if (track < 0) track = hooks_.trace->Track(DirName(ld));
+    if (track < 0) {
+      track = hooks_.trace->Track(DirName(ld));
+      // One-time link facts for after-the-fact analysis: the report
+      // pipeline reads peak bandwidth and the link id (for fault
+      // correlation) from this instant instead of needing the topology.
+      hooks_.trace->Instant(
+          track, "link", "info", 0,
+          {{"peak_bps",
+            static_cast<std::uint64_t>(topo_->link(ld.link_id).bandwidth())},
+           {"link_id", static_cast<std::uint64_t>(ld.link_id)}});
+    }
     hooks_.trace->Span(track, "link", "xfer", start, end,
-                       {{"bytes", bytes}});
+                       {{"bytes", bytes}, {"queue_ns", queue_ns}});
   }
   if (hooks_.metrics != nullptr) {
     hooks_.metrics->timeline(DirName(ld)).AddBusy(start, end);
+    hooks_.metrics->histogram("net.link_queue_ns").Observe(queue_ns);
   }
 }
 
@@ -68,7 +81,7 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
     st.next_free = leg_end;
     st.busy += d;
     st.bytes += bytes;
-    RecordLeg(ld, leg_start, leg_end, bytes);
+    RecordLeg(ld, leg_start, leg_end, bytes, leg_start - now);
     MaybePublish(ld);
     if (i == 0) {
       start = leg_start;

@@ -132,8 +132,11 @@ class LinkStateTable {
   double links_eff_bw_(topo::LinkDir ld, std::uint64_t bytes) const;
   /// Human-readable name of a link direction ("PCIe3(8<->10).fwd").
   std::string DirName(topo::LinkDir ld) const;
+  /// `queued` is the queueing delay the leg spent waiting for the wire
+  /// (leg start minus reservation time), recorded as a span arg and a
+  /// metrics histogram for the congestion report.
   void RecordLeg(topo::LinkDir ld, sim::SimTime start, sim::SimTime end,
-                 std::uint64_t bytes);
+                 std::uint64_t bytes, sim::SimTime queued);
 
   sim::Simulator* sim_;
   const topo::Topology* topo_;

@@ -1,0 +1,63 @@
+#ifndef MGJOIN_OBS_JSON_H_
+#define MGJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mgjoin::obs::json {
+
+/// \brief Minimal JSON document model shared by the report pipeline:
+/// the trace reader (`report::EventsFromTraceJson`), the bench document
+/// (`BenchDoc::FromJson`) and `bench_compare` all parse through it.
+///
+/// Deliberately small: no DOM mutation helpers, members kept in input
+/// order (object key order is part of this repo's byte-determinism
+/// contract), and numbers keep their raw source text so integer
+/// timestamps can be re-read exactly (the Chrome trace encodes
+/// picoseconds as fixed-point microseconds with 6 decimals — a double
+/// round trip would lose the low digits).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Decoded text for strings; raw source text for numbers.
+  std::string text;
+  std::vector<Value> items;                            // arrays
+  std::vector<std::pair<std::string, Value>> members;  // objects, in order
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  /// First member named `key`, or nullptr (nullptr for non-objects too).
+  const Value* Find(const std::string& key) const;
+
+  /// Member `key` as a number/string/bool, or the fallback when the
+  /// member is missing or of the wrong kind.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+};
+
+/// Parses `text` as one JSON value (trailing whitespace allowed,
+/// trailing garbage is an error). Errors carry the byte offset.
+Result<Value> Parse(const std::string& text);
+
+/// Appends `s` as a quoted JSON string with the mandatory escapes.
+void AppendQuoted(std::string* out, const std::string& s);
+
+/// Shortest-ish deterministic rendering of a double ("%.10g", with
+/// non-finite values clamped to 0 — JSON has no inf/nan).
+std::string FormatNumber(double v);
+
+}  // namespace mgjoin::obs::json
+
+#endif  // MGJOIN_OBS_JSON_H_

@@ -52,6 +52,15 @@ class Histogram {
   }
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// \brief Approximate value at quantile `q` in [0, 1]: the bucket
+  /// holding the q-th observation is exact, the position inside it is
+  /// linearly interpolated; the result is clamped to the observed
+  /// min/max. Error is bounded by the bucket width (a factor of 2).
+  std::uint64_t ValueAtQuantile(double q) const;
+  std::uint64_t P50() const { return ValueAtQuantile(0.50); }
+  std::uint64_t P95() const { return ValueAtQuantile(0.95); }
+  std::uint64_t P99() const { return ValueAtQuantile(0.99); }
+
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;

@@ -1,0 +1,142 @@
+#ifndef MGJOIN_OBS_REPORT_H_
+#define MGJOIN_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace mgjoin::obs::report {
+
+// ---------------------------------------------------------------------------
+// Span-annotation contract (what the analyzers below expect a trace to
+// contain; see DESIGN.md "Perf-report pipeline"):
+//
+//  * track "join.phases"  — spans "histogram", "distribution",
+//    "join_total"; all phase times derive from these plus the per-GPU
+//    tracks.
+//  * track "join.gpu<N>"  — spans "global_partition",
+//    "local_partition", "probe"; the track name is the dependency
+//    scope (a GPU's probe waits on *that GPU's* compute chain).
+//  * tracks "link.<name>.fwd|.rev" — one "xfer" span per reservation
+//    leg with args {bytes, queue_ns}, plus one ts-0 "info" instant with
+//    args {peak_bps, link_id} on first use.
+//  * track "net.faults"   — one instant per applied fault event with
+//    args {link, health_pct}; drives availability adjustment.
+//  * track "net.info"     — optional "bisection" instant with arg
+//    {bps}: the GPU set's min-cut bisection bandwidth.
+//
+// Everything is optional: a distribution-only trace (no join phases)
+// degrades to a single "distribution" critical-path slice, and traces
+// recorded before an annotation existed simply miss that column.
+// ---------------------------------------------------------------------------
+
+/// Order statistics of a sample set (exact — computed from the full
+/// sorted sample vector, unlike obs::Histogram's bucketed estimate).
+struct DelaySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+/// Computes a DelaySummary; sorts `samples` in place.
+DelaySummary Summarize(std::vector<std::uint64_t>* samples);
+
+/// One attributed segment of the end-to-end critical path. Slices tile
+/// [0, total] exactly: every picosecond of the run is charged to one
+/// phase, so the per-phase times sum to the end-to-end time by
+/// construction.
+struct PhaseSlice {
+  std::string phase;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  sim::SimTime Duration() const { return end - begin; }
+};
+
+struct CriticalPath {
+  sim::SimTime total = 0;
+  /// Chronological (begin ascending); tiles [0, total].
+  std::vector<PhaseSlice> slices;
+  /// Aggregated per phase name, ranked by attributed time descending
+  /// (ties by name) — the bottleneck ranking.
+  std::vector<std::pair<std::string, sim::SimTime>> phase_totals;
+};
+
+/// Per-link-direction congestion digest over the analysis window.
+struct LinkReport {
+  std::string name;  ///< track name, e.g. "link.NVLink2(0<->3).fwd"
+  sim::SimTime busy = 0;  ///< busy time clipped to the window
+  std::uint64_t bytes = 0;
+  std::uint64_t transfers = 0;
+  double peak_bps = 0.0;      ///< 0 when the trace predates "info" instants
+  double availability = 1.0;  ///< time-weighted health factor over window
+  DelaySummary queue_ns;      ///< queueing delay ahead of each leg
+  std::vector<double> profile;  ///< binned utilization (heatmap row)
+
+  double Utilization(sim::SimTime window) const {
+    return window == 0 ? 0.0
+                       : static_cast<double>(busy) /
+                             static_cast<double>(window);
+  }
+  double AchievedBps(sim::SimTime window) const {
+    const double secs = sim::ToSeconds(window);
+    return secs <= 0 ? 0.0 : static_cast<double>(bytes) / secs;
+  }
+  /// Peak bandwidth scaled by the fraction of the window the link was
+  /// actually available — a link that was down half the run is judged
+  /// against half its nominal peak (fault-injection satellite).
+  double AdjustedPeakBps() const { return peak_bps * availability; }
+};
+
+struct CongestionReport {
+  sim::SimTime window_begin = 0;  ///< the shuffle window when known
+  sim::SimTime window_end = 0;
+  /// Ranked by busy time descending (ties by name ascending).
+  std::vector<LinkReport> links;
+  double bisection_bps = 0.0;  ///< from the "bisection" instant; 0 unknown
+  /// Aggregate wire throughput: all bytes put on any link in the
+  /// window, per unit time (the Fig. 8 numerator).
+  double achieved_wire_bps = 0.0;
+  /// Bisection peak scaled by the byte-weighted availability of the
+  /// links that carried traffic.
+  double adjusted_bisection_bps = 0.0;
+
+  sim::SimTime Window() const { return window_end - window_begin; }
+
+  /// Compact per-link utilization-over-time rendering: one row per
+  /// link (busiest first, at most `max_rows`), one column per time
+  /// bin, "0123456789X" utilization deciles — same alphabet as
+  /// obs::Timeline::Sparkline.
+  std::string AsciiHeatmap(std::size_t max_rows = 12) const;
+};
+
+/// The full analysis of one run's trace slice.
+struct RunReport {
+  CriticalPath critical_path;
+  CongestionReport congestion;
+
+  /// Human-readable report (the `mgjoin report` output).
+  std::string ToText() const;
+};
+
+/// Builds the report from recorded events (recording order; see
+/// TraceRecorder::ExportEvents).
+RunReport BuildRunReport(const std::vector<TraceEvent>& events);
+
+/// Reconstructs events from a Chrome trace JSON file written by
+/// TraceRecorder::WriteFile, so `mgjoin report` can analyze a trace
+/// after the fact. Timestamps are re-read exactly (fixed-point
+/// microseconds -> picoseconds).
+Result<std::vector<TraceEvent>> EventsFromTraceJson(
+    const std::string& json_text);
+
+}  // namespace mgjoin::obs::report
+
+#endif  // MGJOIN_OBS_REPORT_H_

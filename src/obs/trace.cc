@@ -106,6 +106,53 @@ void TraceRecorder::Counter(std::string name, sim::SimTime when,
   events_.push_back(std::move(e));
 }
 
+std::vector<TraceEvent> TraceRecorder::ExportEvents(
+    std::size_t from) const {
+  std::vector<TraceEvent> out;
+  if (from >= events_.size()) return out;
+  // Same canonical order as ToJson (ts, then longest-first, then
+  // recording order): a report built from the recorder is structurally
+  // identical to one re-imported from the written trace file.
+  std::vector<std::size_t> order(events_.size() - from);
+  std::iota(order.begin(), order.end(), from);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (events_[a].ts != events_[b].ts) {
+                       return events_[a].ts < events_[b].ts;
+                     }
+                     return events_[a].dur > events_[b].dur;
+                   });
+  out.reserve(order.size());
+  for (std::size_t i : order) {
+    const Event& e = events_[i];
+    TraceEvent t;
+    switch (e.phase) {
+      case Phase::kSpan:
+        t.kind = TraceEvent::Kind::kSpan;
+        break;
+      case Phase::kInstant:
+        t.kind = TraceEvent::Kind::kInstant;
+        break;
+      case Phase::kCounter:
+        t.kind = TraceEvent::Kind::kCounter;
+        break;
+    }
+    // Counters are trackless (recorded against tid 0, which may never
+    // have been registered as a named track).
+    if (static_cast<std::size_t>(e.track) < tracks_.size()) {
+      t.track = tracks_[static_cast<std::size_t>(e.track)];
+    }
+    t.category = e.category;
+    t.name = e.name;
+    t.ts = e.ts;
+    t.dur = e.dur;
+    t.value = e.value;
+    t.args = e.args;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 std::string TraceRecorder::ToJson() const {
   // Stable sort by timestamp, longest span first on ties (an enclosing
   // span must precede the spans it contains for stack-based replay);

@@ -12,6 +12,34 @@
 
 namespace mgjoin::obs {
 
+/// \brief One recorded event in export form: the in-process mirror of
+/// the Chrome JSON stream, consumed by the report pipeline
+/// (obs/report.h) without a serialize/parse round trip.
+///
+/// `track` carries the track *name* (not the numeric id), so an event
+/// list sliced out of a long-lived recorder is self-describing.
+struct TraceEvent {
+  enum class Kind { kSpan, kInstant, kCounter };
+
+  Kind kind = Kind::kSpan;
+  std::string track;
+  std::string category;
+  std::string name;
+  sim::SimTime ts = 0;
+  sim::SimTime dur = 0;     ///< spans only
+  std::uint64_t value = 0;  ///< counters only
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+
+  /// Value of the arg named `key`, or `fallback` when absent.
+  std::uint64_t Arg(const std::string& key,
+                    std::uint64_t fallback = 0) const {
+    for (const auto& [k, v] : args) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
 /// \brief Records timestamped spans/instants/counters against the
 /// simulated clock and exports them as Chrome `trace_event` JSON
 /// (viewable in Perfetto or chrome://tracing).
@@ -58,6 +86,15 @@ class TraceRecorder {
 
   std::size_t num_events() const { return events_.size(); }
   std::size_t num_tracks() const { return tracks_.size(); }
+
+  /// \brief Events recorded since event index `from`, in recording
+  /// order (not the sorted JSON order).
+  ///
+  /// Bookmarking `num_events()` before a run and exporting from that
+  /// index afterwards slices one run's events out of a shared
+  /// process-lifetime recorder — how the bench reporter builds a
+  /// per-run digest without a second recorder.
+  std::vector<TraceEvent> ExportEvents(std::size_t from = 0) const;
 
   /// Serializes everything recorded so far as a Chrome trace JSON
   /// object. Events are sorted by (timestamp, recording order), so the

@@ -1,0 +1,23 @@
+// bench_compare — regression gate over two mgjoin-bench/1 JSON files.
+//
+//   bench_compare baseline.json candidate.json [--threshold=5%]
+//                 [--warn-only]
+//
+// Compares every series point present in both documents, honoring each
+// series' higher-is-better direction. Exit 0: no regression beyond the
+// threshold; exit 1: at least one regression (suppressed by
+// --warn-only); exit 2: bad usage or unreadable/invalid input.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  const int rc = mgjoin::obs::BenchCompareMain(args, &out);
+  std::fputs(out.c_str(), rc == 2 ? stderr : stdout);
+  return rc;
+}

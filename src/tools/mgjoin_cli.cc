@@ -7,6 +7,7 @@
 //                [--trace=out.json] [--metrics]
 //                [--faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
+//   mgjoin report <trace.json>
 //
 // Policies: adaptive (default), direct, bandwidth, hopcount, latency,
 // centralized.
@@ -21,6 +22,10 @@
 // net/fault_plan.h for the grammar): links go down, run degraded or
 // flap at scheduled simulated times, and the engine re-routes around
 // them. Join results stay exact; only the timing changes.
+//
+// `mgjoin report trace.json` re-reads a trace written by `--trace` (or
+// by a bench under MGJ_TRACE) and prints the critical-path attribution
+// and per-link congestion report (obs/report.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +39,7 @@
 #include "net/fault_plan.h"
 #include "join/umj.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "topo/presets.h"
 #include "tpch/dbgen.h"
 #include "tpch/omnisci_model.h"
@@ -239,9 +245,39 @@ int CmdTpch(const Args& args) {
   return 0;
 }
 
+int CmdReport(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: mgjoin report <trace.json>\n");
+    return 1;
+  }
+  std::FILE* f = std::fopen(argv[2], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto events = obs::report::EventsFromTraceJson(text);
+  if (!events.ok()) {
+    std::fprintf(stderr, "bad trace: %s\n",
+                 events.status().ToString().c_str());
+    return 1;
+  }
+  const obs::report::RunReport rep =
+      obs::report::BuildRunReport(events.value());
+  std::printf("%s", rep.ToText().c_str());
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: mgjoin <topo|join|tpch> [--flag value ...]\n"
+               "usage: mgjoin <topo|join|tpch|report> [--flag value ...]\n"
                "  topo  --machine dgx1|dgxstation|dgx2\n"
                "  join  --gpus N --tuples N --policy adaptive|direct|"
                "bandwidth|hopcount|latency|centralized\n"
@@ -251,7 +287,9 @@ void Usage() {
                "        --faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms,"
                "flap:nvlink2:@1ms:500usx3\n"
                "  tpch  --query 3|5|10|12|14|19|all --sf F "
-               "--virtual-sf F\n");
+               "--virtual-sf F\n"
+               "  report <trace.json>   critical-path + congestion "
+               "analysis of a recorded trace\n");
 }
 
 }  // namespace
@@ -266,6 +304,7 @@ int main(int argc, char** argv) {
   if (cmd == "topo") return CmdTopo(args);
   if (cmd == "join") return CmdJoin(args);
   if (cmd == "tpch") return CmdTpch(args);
+  if (cmd == "report") return CmdReport(argc, argv);
   Usage();
   return 1;
 }

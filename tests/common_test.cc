@@ -10,6 +10,7 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -212,6 +213,18 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool ran = false;
   ParallelFor(5, 5, [&ran](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(LoggingDeathTest, AtFatalHooksRunBeforeAbort) {
+  // The hook chain is what flushes traces/metrics when an MGJ_CHECK
+  // trips (bench::EnvObs registers one); it must run between the fatal
+  // message and the abort, in the aborting process.
+  EXPECT_DEATH(
+      {
+        AtFatal([] { std::fprintf(stderr, "at-fatal-hook-ran\n"); });
+        MGJ_CHECK(false) << "boom";
+      },
+      "boom.*at-fatal-hook-ran");
 }
 
 }  // namespace

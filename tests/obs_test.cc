@@ -431,6 +431,42 @@ TEST(MetricsTest, HistogramAggregates) {
   EXPECT_EQ(bucketed, h.count());
 }
 
+TEST(MetricsTest, HistogramQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);  // empty
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+  // Power-of-two buckets bound the error by the bucket width; the
+  // interpolated estimates must land in the right neighborhood and be
+  // monotone in q.
+  EXPECT_EQ(h.P50(), h.ValueAtQuantile(0.5));
+  EXPECT_GE(h.P50(), 33u);
+  EXPECT_LE(h.P50(), 64u);
+  EXPECT_GE(h.P95(), 65u);
+  EXPECT_LE(h.P95(), 100u);
+  EXPECT_GE(h.P99(), h.P95());
+  EXPECT_LE(h.P99(), h.max());
+  EXPECT_GE(h.P95(), h.P50());
+  // Quantiles clamp to the observed range.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), h.min());
+  EXPECT_EQ(h.ValueAtQuantile(1.0), h.max());
+
+  Histogram single;
+  single.Observe(42);
+  EXPECT_EQ(single.P50(), 42u);
+  EXPECT_EQ(single.P99(), 42u);
+}
+
+TEST(MetricsTest, SummaryIncludesQuantiles) {
+  MetricsRegistry reg;
+  for (std::uint64_t v = 1; v <= 64; ++v) {
+    reg.histogram("queue_ns").Observe(v);
+  }
+  const std::string summary = reg.Summary(sim::kMillisecond);
+  EXPECT_NE(summary.find("p50"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+  EXPECT_NE(summary.find("queue_ns"), std::string::npos);
+}
+
 TEST(MetricsTest, TimelineBinsBusyTime) {
   Timeline tl;  // 1 ms bins
   tl.AddBusy(0, 500 * sim::kMicrosecond);
