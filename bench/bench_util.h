@@ -38,6 +38,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "common/wallprof.h"
 #include "data/generator.h"
 #include "join/mg_join.h"
 #include "join/umj.h"
@@ -219,6 +220,7 @@ class BenchReport {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
+    doc_.wall_phases = WallProfiler::Global().Phases();
     const std::string path = dir_ + "/BENCH_" + doc_.name + ".json";
     const std::string json = doc_.ToJson();
     std::FILE* f = std::fopen(path.c_str(), "w");

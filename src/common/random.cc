@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitutil.h"
+#include "common/thread_pool.h"
+
 namespace mgjoin {
 
 namespace {
@@ -10,14 +13,26 @@ inline std::uint64_t Rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
-// splitmix64, used to expand the seed into the xoshiro state.
-inline std::uint64_t SplitMix64(std::uint64_t* state) {
-  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+// splitmix64 finalizer: bijective 64-bit mix.
+inline std::uint64_t Mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
 }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline std::uint64_t SplitMix64(std::uint64_t* state) {
+  return Mix64(*state += 0x9E3779B97F4A7C15ull);
+}
 }  // namespace
+
+std::uint64_t CounterHash(std::uint64_t seed, std::uint64_t i) {
+  return Mix64(seed + (i + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+double CounterDouble(std::uint64_t seed, std::uint64_t i) {
+  return static_cast<double>(CounterHash(seed, i) >> 11) * 0x1.0p-53;
+}
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
@@ -51,12 +66,22 @@ double Rng::NextDouble() {
 }
 
 ZipfGenerator::ZipfGenerator(std::uint64_t n, double z, std::uint64_t seed)
-    : n_(n), z_(z), rng_(seed) {
+    : n_(n), z_(z), seed_(seed), rng_(seed) {
   cdf_.resize(n);
+  // The pow() calls dominate and are independent, so they parallelize;
+  // the prefix sum stays serial so the floating-point accumulation
+  // order (and thus the cdf) is identical at any thread count.
+  ParallelForChunked(0, n, 1u << 16,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         cdf_[i] = 1.0 / std::pow(
+                                             static_cast<double>(i + 1), z);
+                       }
+                     });
   double sum = 0.0;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    sum += 1.0 / std::pow(static_cast<double>(i + 1), z);
-    cdf_[i] = sum;
+  for (auto& c : cdf_) {
+    sum += c;
+    c = sum;
   }
   const double inv = 1.0 / sum;
   for (auto& c : cdf_) c *= inv;
@@ -67,6 +92,46 @@ std::uint64_t ZipfGenerator::Next() {
   const double u = rng_.NextDouble();
   auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+std::uint64_t ZipfGenerator::ValueAt(std::uint64_t i) const {
+  // Keyed off the seed but domain-separated from the sequential Next()
+  // stream (which consumes xoshiro state instead).
+  const double u = CounterDouble(seed_ ^ 0x5A1FD00Dull, i);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+IndexPermutation::IndexPermutation(std::uint64_t n, std::uint64_t seed)
+    : n_(n) {
+  // Smallest even-width domain 2^(2h) >= n, h >= 1, so the cycle walk
+  // visits < 4 out-of-range points in expectation.
+  half_bits_ = (Log2Ceil(std::max<std::uint64_t>(n, 2)) + 1) / 2;
+  half_mask_ = (1ull << half_bits_) - 1;
+  std::uint64_t sm = seed;
+  for (auto& k : keys_) k = SplitMix64(&sm);
+}
+
+std::uint64_t IndexPermutation::EncryptOnce(std::uint64_t i) const {
+  std::uint64_t l = i >> half_bits_;
+  std::uint64_t r = i & half_mask_;
+  for (const std::uint64_t key : keys_) {
+    const std::uint64_t f = Mix64(r + key) & half_mask_;
+    const std::uint64_t next_r = l ^ f;
+    l = r;
+    r = next_r;
+  }
+  return (l << half_bits_) | r;
+}
+
+std::uint64_t IndexPermutation::Apply(std::uint64_t i) const {
+  if (n_ <= 1) return 0;
+  // Cycle-walk: the Feistel network permutes the power-of-four domain,
+  // so repeatedly encrypting an in-domain point must return to [0, n).
+  do {
+    i = EncryptOnce(i);
+  } while (i >= n_);
+  return i;
 }
 
 }  // namespace mgjoin

@@ -52,15 +52,60 @@ class ZipfGenerator {
   /// Returns the next Zipf-distributed value in [0, n).
   std::uint64_t Next();
 
+  /// \brief Counter-based draw: the Zipf value of stream position `i`,
+  /// independent of call order and of every other position.
+  ///
+  /// This is the parallel generator's API: morsels evaluate disjoint
+  /// index ranges concurrently and the output is identical at any
+  /// thread count. The stream is keyed by the constructor seed but is
+  /// distinct from the sequential Next() stream.
+  std::uint64_t ValueAt(std::uint64_t i) const;
+
   std::uint64_t n() const { return n_; }
   double z() const { return z_; }
 
  private:
   std::uint64_t n_;
   double z_;
+  std::uint64_t seed_;
   Rng rng_;
   std::vector<double> cdf_;  // cumulative probabilities, size n
 };
+
+/// \brief Seeded bijection on [0, n): a 4-round Feistel network over the
+/// enclosing power-of-four domain, cycle-walked back into range.
+///
+/// Apply(i) is O(1) expected and reads only immutable state, so a
+/// permutation can be evaluated at arbitrary positions from many
+/// threads at once — this is what makes shuffled-key generation
+/// embarrassingly parallel *and* thread-count invariant (each position's
+/// key is a pure function of (seed, position)). Replaces the sequential
+/// Fisher-Yates shuffle in the workload generator.
+class IndexPermutation {
+ public:
+  IndexPermutation(std::uint64_t n, std::uint64_t seed);
+
+  /// The image of `i` (i < n) under the permutation; always < n.
+  std::uint64_t Apply(std::uint64_t i) const;
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t EncryptOnce(std::uint64_t i) const;
+
+  std::uint64_t n_;
+  int half_bits_;           // each Feistel half is this wide
+  std::uint64_t half_mask_;
+  std::uint64_t keys_[4];
+};
+
+/// Stateless counter hash: the 64-bit value of stream `seed` at counter
+/// `i` (splitmix64 finalizer over the keyed counter). The building block
+/// of every counter-based stream above.
+std::uint64_t CounterHash(std::uint64_t seed, std::uint64_t i);
+
+/// CounterHash mapped to a uniform double in [0, 1).
+double CounterDouble(std::uint64_t seed, std::uint64_t i);
 
 }  // namespace mgjoin
 

@@ -1,0 +1,74 @@
+#ifndef MGJOIN_COMMON_WALLPROF_H_
+#define MGJOIN_COMMON_WALLPROF_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgjoin {
+
+/// \brief Wall-clock phase profiler for the host execution path.
+///
+/// Strictly separate from the simulated clock and from the trace
+/// recorder: simulated times and traces are part of the determinism
+/// contract (byte-identical at any thread count, DESIGN.md Sec 11),
+/// while wall times measure the host machine and change run to run.
+/// Wall data therefore only ever reaches (a) `host.*` metrics and
+/// (b) the volatile `wall_phases` line of the bench JSON — never the
+/// trace stream.
+///
+/// Thread-safe; phases accumulate, so repeated runs (bench sweeps) sum
+/// their per-phase times.
+class WallProfiler {
+ public:
+  /// Process-wide instance used by MgJoin and the bench harness.
+  static WallProfiler& Global();
+
+  /// Adds `seconds` of wall time to `phase`.
+  void Add(const std::string& phase, double seconds);
+
+  /// Accumulated (phase, seconds) pairs sorted by phase name.
+  std::vector<std::pair<std::string, double>> Phases() const;
+
+  /// Total wall seconds across all phases.
+  double TotalSeconds() const;
+
+  void Reset();
+
+  /// RAII timer: accumulates the scope's wall time into `phase` on
+  /// destruction.
+  class Scope {
+   public:
+    Scope(WallProfiler* prof, std::string phase)
+        : prof_(prof),
+          phase_(std::move(phase)),
+          start_(std::chrono::steady_clock::now()) {}
+
+    ~Scope() {
+      if (prof_ == nullptr) return;
+      prof_->Add(phase_,
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    WallProfiler* prof_;
+    std::string phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> seconds_;
+};
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_WALLPROF_H_

@@ -4,8 +4,17 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace mgjoin::data {
+
+namespace {
+
+/// Morsel size for parallel key/tuple fills. Fixed, so chunk boundaries
+/// (and therefore the output) never depend on the thread count.
+constexpr std::size_t kGenGrain = 1u << 16;
+
+}  // namespace
 
 std::vector<std::uint64_t> PlacementSizes(std::uint64_t total, int num_gpus,
                                           double placement_zipf) {
@@ -39,7 +48,8 @@ std::vector<std::uint64_t> PlacementSizes(std::uint64_t total, int num_gpus,
 namespace {
 
 // Distributes `keys` (already in final order) over shards of the given
-// sizes, attaching sequential record ids.
+// sizes, attaching sequential record ids. Each tuple is a pure function
+// of its global position, so shards fill in parallel.
 DistRelation Distribute(const std::vector<std::uint32_t>& keys,
                         const std::vector<std::uint64_t>& sizes,
                         int domain_bits) {
@@ -49,10 +59,17 @@ DistRelation Distribute(const std::vector<std::uint32_t>& keys,
   std::uint64_t pos = 0;
   for (std::size_t g = 0; g < sizes.size(); ++g) {
     rel.shards[g].resize(sizes[g]);
-    for (std::uint64_t i = 0; i < sizes[g]; ++i, ++pos) {
-      rel.shards[g][i] =
-          Tuple{keys[pos], static_cast<std::uint32_t>(pos)};
-    }
+    auto& shard = rel.shards[g];
+    const std::uint64_t base = pos;
+    ParallelForChunked(0, sizes[g], kGenGrain,
+                       [&shard, &keys, base](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           const std::uint64_t p = base + i;
+                           shard[i] = Tuple{keys[p],
+                                            static_cast<std::uint32_t>(p)};
+                         }
+                       });
+    pos += sizes[g];
   }
   MGJ_CHECK(pos == keys.size());
   return rel;
@@ -65,36 +82,46 @@ std::pair<DistRelation, DistRelation> MakeJoinInput(const GenOptions& opts) {
   const std::uint64_t n = opts.tuples_per_relation;
   const int domain_bits = std::max(1, Log2Ceil(n));
 
-  Rng rng(opts.seed);
+  // Every key is a pure function of (seed, position): shuffles are
+  // seeded Feistel permutations and Zipf draws are counter-based, so
+  // morsels fill disjoint ranges concurrently and the relations are
+  // byte-identical at any thread count (the determinism contract).
+  const IndexPermutation r_perm(n, CounterHash(opts.seed, 'R'));
+  const IndexPermutation s_perm(n, CounterHash(opts.seed, 'S'));
 
   // R: sequential keys, shuffled (each key exactly once).
   std::vector<std::uint32_t> r_keys(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    r_keys[i] = static_cast<std::uint32_t>(i);
-  }
-  rng.Shuffle(&r_keys);
+  ParallelForChunked(0, n, kGenGrain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) {
+                         r_keys[i] =
+                             static_cast<std::uint32_t>(r_perm.Apply(i));
+                       }
+                     });
 
   // S: unique shuffled keys for the uniform workload; Zipf-frequency
   // keys for skewed workloads (heavy hitters).
   std::vector<std::uint32_t> s_keys(n);
   if (opts.key_zipf <= 0.0) {
-    for (std::uint64_t i = 0; i < n; ++i) {
-      s_keys[i] = static_cast<std::uint32_t>(i);
-    }
-    rng.Shuffle(&s_keys);
+    ParallelForChunked(0, n, kGenGrain,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           s_keys[i] =
+                               static_cast<std::uint32_t>(s_perm.Apply(i));
+                         }
+                       });
   } else {
     // Rank-to-value map is itself a random permutation so that the hot
     // keys are scattered over the domain (and over radix partitions,
     // creating single-value skew partitions rather than one hot range).
-    std::vector<std::uint32_t> rank_to_value(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      rank_to_value[i] = static_cast<std::uint32_t>(i);
-    }
-    rng.Shuffle(&rank_to_value);
-    ZipfGenerator zipf(n, opts.key_zipf, opts.seed ^ 0xD1CEu);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      s_keys[i] = rank_to_value[zipf.Next()];
-    }
+    const ZipfGenerator zipf(n, opts.key_zipf, opts.seed ^ 0xD1CEu);
+    ParallelForChunked(
+        0, n, kGenGrain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            s_keys[i] =
+                static_cast<std::uint32_t>(s_perm.Apply(zipf.ValueAt(i)));
+          }
+        });
   }
 
   const auto sizes = PlacementSizes(n, opts.num_gpus, opts.placement_zipf);

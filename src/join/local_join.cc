@@ -6,6 +6,7 @@
 #include "common/bitutil.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace mgjoin::join {
 
@@ -106,33 +107,71 @@ LocalJoinStats LocalPartitionAndProbe(
     std::vector<std::vector<data::Tuple>>* s_parts,
     const LocalJoinOptions& options) {
   MGJ_CHECK(r_parts->size() == s_parts->size());
-  LocalJoinStats stats;
-  for (std::size_t p = 0; p < r_parts->size(); ++p) {
-    stats.r_tuples += (*r_parts)[p].size();
-    stats.s_tuples += (*s_parts)[p].size();
+  // Morsel = one received co-partition: partitions share no keys, so
+  // each runs the full recursion independently into its own stats.
+  const std::size_t num_parts = r_parts->size();
+  std::vector<LocalJoinStats> per_part(num_parts);
+  ParallelFor(0, num_parts, [&](std::size_t p) {
+    LocalJoinStats& st = per_part[p];
+    st.r_tuples = (*r_parts)[p].size();
+    st.s_tuples = (*s_parts)[p].size();
     Recurse(std::move((*r_parts)[p]), std::move((*s_parts)[p]),
-            /*depth=*/0, options, &stats);
+            /*depth=*/0, options, &st);
+  });
+  // Merge in canonical partition order. Counts and the checksum are
+  // additive; pairs concatenate partition-by-partition, reproducing the
+  // serial iteration byte-for-byte at any thread count.
+  LocalJoinStats stats;
+  for (LocalJoinStats& st : per_part) {
+    stats.r_tuples += st.r_tuples;
+    stats.s_tuples += st.s_tuples;
+    stats.matches += st.matches;
+    stats.checksum += st.checksum;
+    stats.max_depth = std::max(stats.max_depth, st.max_depth);
+    stats.partition_tuple_passes += st.partition_tuple_passes;
+    stats.pairs.insert(stats.pairs.end(), st.pairs.begin(),
+                       st.pairs.end());
   }
   return stats;
 }
 
 LocalJoinStats ReferenceJoin(const data::DistRelation& r,
                              const data::DistRelation& s) {
+  // Fixed hash-bucket fanout: bucket membership depends only on the
+  // key, so the per-bucket sub-joins are independent and their additive
+  // stats merge to the same totals at any thread count.
+  constexpr std::size_t kBuckets = 64;
+  std::vector<std::vector<data::Tuple>> rb(kBuckets), sb(kBuckets);
   LocalJoinStats stats;
-  std::unordered_multimap<std::uint32_t, std::uint32_t> table;
   for (const data::Shard& shard : r.shards) {
     stats.r_tuples += shard.size();
-    for (const data::Tuple& t : shard) table.emplace(t.key, t.id);
+    for (const data::Tuple& t : shard) {
+      rb[HashKey(t.key) & (kBuckets - 1)].push_back(t);
+    }
   }
   for (const data::Shard& shard : s.shards) {
     stats.s_tuples += shard.size();
     for (const data::Tuple& t : shard) {
+      sb[HashKey(t.key) & (kBuckets - 1)].push_back(t);
+    }
+  }
+  std::vector<LocalJoinStats> per_bucket(kBuckets);
+  ParallelFor(0, kBuckets, [&](std::size_t b) {
+    LocalJoinStats& st = per_bucket[b];
+    std::unordered_multimap<std::uint32_t, std::uint32_t> table;
+    table.reserve(rb[b].size());
+    for (const data::Tuple& t : rb[b]) table.emplace(t.key, t.id);
+    for (const data::Tuple& t : sb[b]) {
       auto [lo, hi] = table.equal_range(t.key);
       for (auto it = lo; it != hi; ++it) {
-        ++stats.matches;
-        AccumulateMatch(it->second, t.id, &stats.checksum);
+        ++st.matches;
+        AccumulateMatch(it->second, t.id, &st.checksum);
       }
     }
+  });
+  for (const LocalJoinStats& st : per_bucket) {
+    stats.matches += st.matches;
+    stats.checksum += st.checksum;
   }
   return stats;
 }

@@ -1,9 +1,13 @@
 #include "join/mg_join.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/wallprof.h"
 #include "gpusim/kernel_model.h"
 #include "join/histogram.h"
 #include "join/shuffle.h"
@@ -22,6 +26,38 @@ std::uint64_t Scale(std::uint64_t n, double s) {
       std::llround(static_cast<double>(n) * s));
 }
 
+// Times one host-side execution phase: wall seconds accumulate in the
+// global WallProfiler (surfaced as the bench JSON `wall_phases` line)
+// and, when metrics are attached, in a `<name>.wall_us` counter. Never
+// writes to the trace recorder — traces carry only simulated time and
+// must stay byte-identical across thread counts.
+class HostPhase {
+ public:
+  HostPhase(std::string name, obs::MetricsRegistry* metrics)
+      : name_(std::move(name)),
+        metrics_(metrics),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~HostPhase() {
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    WallProfiler::Global().Add(name_, s);
+    if (metrics_ != nullptr) {
+      metrics_->counter(name_ + ".wall_us")
+          .Add(static_cast<std::uint64_t>(s * 1e6));
+    }
+  }
+
+  HostPhase(const HostPhase&) = delete;
+  HostPhase& operator=(const HostPhase&) = delete;
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry* metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 MgJoin::MgJoin(const topo::Topology* topo, std::vector<int> gpus,
@@ -32,6 +68,10 @@ MgJoin::MgJoin(const topo::Topology* topo, std::vector<int> gpus,
   if (options_.local.shared_mem_tuples == 0) {
     options_.local.shared_mem_tuples =
         options_.gpu.SharedMemTuples(data::kTupleBytes);
+  }
+  if (options_.host_threads > 0) {
+    ThreadPool::SetDefaultThreads(
+        static_cast<std::size_t>(options_.host_threads));
   }
 }
 
@@ -48,6 +88,7 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
   if (vs <= 0) return Status::InvalidArgument("virtual_scale must be > 0");
 
   const gpusim::KernelModel kernels(options_.gpu);
+  obs::MetricsRegistry* host_metrics = options_.transfer.obs.metrics;
   JoinResult result;
   result.input_tuples = r.TotalTuples() + s.TotalTuples();
   result.virtual_input_tuples = Scale(result.input_tuples, vs);
@@ -57,8 +98,14 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
       options_.radix_bits_override > 0
           ? options_.radix_bits_override
           : RadixBitsFor(options_.gpu, r.domain_bits);
-  const HistogramSet hist_r = BuildHistograms(r, radix_bits);
-  const HistogramSet hist_s = BuildHistograms(s, radix_bits);
+  auto timed = [&](const char* name, auto&& fn) {
+    HostPhase phase(name, host_metrics);
+    return fn();
+  };
+  const HistogramSet hist_r =
+      timed("host.histogram", [&] { return BuildHistograms(r, radix_bits); });
+  const HistogramSet hist_s =
+      timed("host.histogram", [&] { return BuildHistograms(s, radix_bits); });
   sim::SimTime hist_end = 0;
   for (int d = 0; d < g; ++d) {
     const std::uint64_t n =
@@ -91,8 +138,9 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
   ShuffleOptions sopts;
   sopts.use_compression = options_.use_compression;
   sopts.virtual_scale = vs;
-  ShuffleResult shuffle =
-      ShufflePartitions(r, s, radix_bits, assignment, gpus_, sopts);
+  ShuffleResult shuffle = timed("host.shuffle", [&] {
+    return ShufflePartitions(r, s, radix_bits, assignment, gpus_, sopts);
+  });
   result.shuffled_bytes = Scale(shuffle.compressed_bytes, vs);
   result.uncompressed_bytes = Scale(shuffle.uncompressed_bytes, vs);
 
@@ -124,8 +172,11 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
     }
     engine.AddFlow(f);
   }
-  engine.Start();
-  net_sim.Run();
+  {
+    HostPhase net_phase("host.network_sim", host_metrics);
+    engine.Start();
+    net_sim.Run();
+  }
   MGJ_CHECK(engine.AllDone()) << "distribution did not complete";
   result.net = engine.stats();
   const sim::SimTime dist_end =
@@ -157,6 +208,7 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
   }
 
   // ---- Phase 3 + 4: local partitioning and probe, per GPU.
+  HostPhase local_phase("host.local_join", host_metrics);
   sim::SimTime join_end = hist_end;
   sim::SimTime nodist_end = hist_end;  // hypothetical zero-cost network
   sim::SimTime lp_max = 0, probe_max = 0;

@@ -43,6 +43,11 @@ struct MgJoinOptions {
   LocalJoinOptions local{.shared_mem_tuples = 0};
   /// Materialize matched (r_id, s_id) pairs in JoinResult::pairs.
   bool materialize_pairs = false;
+  /// Host worker threads for the functional layer (0 = MGJ_THREADS env,
+  /// then hardware concurrency; see ThreadPool::ResolveThreadCount).
+  /// Purely a wall-clock knob: functional results, simulated times and
+  /// traces are byte-identical at any setting (DESIGN.md Sec 11).
+  int host_threads = 0;
 
   /// The DPRJ baseline (Guo et al. [21]): CUDA direct routes, no
   /// network-optimal assignment, bulk transfers, no compression.

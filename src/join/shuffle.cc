@@ -49,11 +49,22 @@ ShuffleResult ShufflePartitions(const data::DistRelation& r,
   });
 
   // Step 3 (data distribution): place buckets at their owners and account
-  // wire bytes per (src, dst).
-  std::vector<std::vector<std::uint64_t>> flow_bytes(
-      g, std::vector<std::uint64_t>(g, 0));
+  // wire bytes per (src, dst). Morsel = a fixed chunk of partitions:
+  // every write under partition p (recv[*][p], per-chunk accumulators)
+  // is private to p's chunk, srcs are visited in ascending order within
+  // each p, and the per-chunk byte counters are integer sums — so both
+  // the received buckets and the totals are identical at any thread
+  // count.
+  struct ChunkAcc {
+    std::vector<std::uint64_t> flow;  // g x g wire bytes, row-major
+    std::uint64_t compressed = 0;
+    std::uint64_t uncompressed = 0;
+    std::uint64_t moved = 0;
+  };
+  constexpr std::size_t kPartGrain = 64;
+  std::vector<ChunkAcc> chunk_acc((parts + kPartGrain - 1) / kPartGrain);
 
-  auto place = [&](bool is_r, int src, std::uint32_t p,
+  auto place = [&](ChunkAcc* acc, bool is_r, int src, std::uint32_t p,
                    std::vector<data::Tuple>&& bucket) {
     if (bucket.empty()) return;
     const auto& owners = assignment.owners[p];
@@ -87,21 +98,44 @@ ShuffleResult ShufflePartitions(const data::DistRelation& r,
     }
     for (int dst : dests) {
       if (dst != src) {
-        flow_bytes[src][dst] += wire;
-        out.compressed_bytes += wire;
-        out.uncompressed_bytes += raw;
-        out.moved_tuples += bucket.size();
+        acc->flow[static_cast<std::size_t>(src) * g + dst] += wire;
+        acc->compressed += wire;
+        acc->uncompressed += raw;
+        acc->moved += bucket.size();
       }
       auto& target = recv[dst][p];
       target.insert(target.end(), bucket.begin(), bucket.end());
     }
   };
 
-  for (int src = 0; src < g; ++src) {
-    for (std::uint32_t p = 0; p < parts; ++p) {
-      place(true, src, p, std::move(r_buckets[src][p]));
-      place(false, src, p, std::move(s_buckets[src][p]));
+  ParallelForChunked(0, parts, kPartGrain,
+                     [&](std::size_t lo, std::size_t hi) {
+                       ChunkAcc& acc = chunk_acc[lo / kPartGrain];
+                       acc.flow.assign(static_cast<std::size_t>(g) * g, 0);
+                       for (std::size_t p = lo; p < hi; ++p) {
+                         for (int src = 0; src < g; ++src) {
+                           const auto pp = static_cast<std::uint32_t>(p);
+                           place(&acc, true, src, pp,
+                                 std::move(r_buckets[src][p]));
+                           place(&acc, false, src, pp,
+                                 std::move(s_buckets[src][p]));
+                         }
+                       }
+                     });
+
+  std::vector<std::vector<std::uint64_t>> flow_bytes(
+      g, std::vector<std::uint64_t>(g, 0));
+  for (const ChunkAcc& acc : chunk_acc) {
+    if (acc.flow.empty()) continue;
+    for (int src = 0; src < g; ++src) {
+      for (int dst = 0; dst < g; ++dst) {
+        flow_bytes[src][dst] +=
+            acc.flow[static_cast<std::size_t>(src) * g + dst];
+      }
     }
+    out.compressed_bytes += acc.compressed;
+    out.uncompressed_bytes += acc.uncompressed;
+    out.moved_tuples += acc.moved;
   }
 
   // Build one flow per (src, dst) pair.

@@ -93,6 +93,18 @@ std::string BenchDoc::ToJson() const {
   AppendKV(&out, "git_commit", git_commit);
   out += ",\n  ";
   AppendKV(&out, "wall_seconds", wall_seconds);
+  // Single line on purpose: wall data is machine-dependent, and one
+  // line is what lets StripVolatileLines-style checks drop it.
+  out += ",\n  \"wall_phases\": [";
+  for (std::size_t i = 0; i < wall_phases.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{";
+    AppendKV(&out, "name", wall_phases[i].first);
+    out += ", ";
+    AppendKV(&out, "s", wall_phases[i].second);
+    out += "}";
+  }
+  out += "]";
   out += ",\n  \"series\": [";
   for (std::size_t i = 0; i < series.size(); ++i) {
     const Series& s = series[i];
@@ -187,6 +199,13 @@ Result<BenchDoc> BenchDoc::FromJson(const std::string& text) {
   doc.gpus = static_cast<int>(root.NumberOr("gpus", 0));
   doc.git_commit = root.StringOr("git_commit", "unknown");
   doc.wall_seconds = root.NumberOr("wall_seconds", 0);
+  if (const json::Value* wall = root.Find("wall_phases");
+      wall != nullptr && wall->IsArray()) {
+    for (const json::Value& p : wall->items) {
+      doc.wall_phases.emplace_back(p.StringOr("name", ""),
+                                   p.NumberOr("s", 0));
+    }
+  }
   if (const json::Value* series = root.Find("series");
       series != nullptr && series->IsArray()) {
     for (const json::Value& s : series->items) {
@@ -277,9 +296,14 @@ CompareReport CompareBenchDocs(const BenchDoc& baseline,
       out.text += "series \"" + bs.name + "\": missing from candidate\n";
       continue;
     }
-    std::snprintf(line, sizeof(line), "series \"%s\" (%s is better):\n",
+    // Wall-clock series measure the host machine, not the simulation;
+    // they are reported but never gate (simulated-time series do).
+    const bool wall_series =
+        bs.unit.find("wall") != std::string::npos;
+    std::snprintf(line, sizeof(line), "series \"%s\" (%s is better%s):\n",
                   bs.name.c_str(),
-                  bs.higher_is_better ? "higher" : "lower");
+                  bs.higher_is_better ? "higher" : "lower",
+                  wall_series ? ", wall-clock: informational" : "");
     out.text += line;
     for (const BenchDoc::Point& bp : bs.points) {
       const BenchDoc::Point* cp = nullptr;
@@ -304,11 +328,15 @@ CompareReport CompareBenchDocs(const BenchDoc& baseline,
       const double harm = bs.higher_is_better ? -delta : delta;
       const char* verdict = "ok";
       if (harm > options.threshold) {
-        verdict = "REGRESSION";
-        ++out.regressions;
+        if (wall_series) {
+          verdict = "slower (wall-clock, not gating)";
+        } else {
+          verdict = "REGRESSION";
+          ++out.regressions;
+        }
       } else if (harm < -options.threshold) {
         verdict = "improvement";
-        ++out.improvements;
+        if (!wall_series) ++out.improvements;
       }
       std::snprintf(line, sizeof(line),
                     "  x=%-12s %13.6g -> %13.6g  (%+.2f%%)  %s\n",

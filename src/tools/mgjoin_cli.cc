@@ -3,7 +3,7 @@
 //   mgjoin topo  [--machine dgx1|dgxstation|dgx2]
 //   mgjoin join  [--gpus N] [--tuples N] [--policy P] [--zipf Z]
 //                [--key-zipf Z] [--packet-kb N] [--scale S]
-//                [--no-compression] [--links]
+//                [--threads N] [--no-compression] [--links]
 //                [--trace=out.json] [--metrics]
 //                [--faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
@@ -33,6 +33,7 @@
 #include <map>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "exec/engine.h"
 #include "join/mg_join.h"
@@ -122,6 +123,13 @@ int CmdJoin(const Args& args) {
     std::fprintf(stderr, "gpus must be 1..%d\n", topo->num_gpus());
     return 1;
   }
+  // Host thread count must be applied before the (parallel) generator
+  // runs; 0 keeps the MGJ_THREADS / hardware default.
+  const int threads = static_cast<int>(args.GetI("threads", 0));
+  if (threads > 0) {
+    ThreadPool::SetDefaultThreads(static_cast<std::size_t>(threads));
+  }
+
   data::GenOptions gen;
   gen.tuples_per_relation =
       static_cast<std::uint64_t>(args.GetI("tuples", 1 << 20)) * g;
@@ -131,6 +139,7 @@ int CmdJoin(const Args& args) {
   auto [r, s] = data::MakeJoinInput(gen);
 
   join::MgJoinOptions opts;
+  opts.host_threads = threads;
   opts.policy = ParsePolicy(args.Get("policy", "adaptive"));
   opts.transfer.packet_bytes =
       static_cast<std::uint64_t>(args.GetI("packet-kb", 2048)) * kKiB;
@@ -283,6 +292,8 @@ void Usage() {
                "bandwidth|hopcount|latency|centralized\n"
                "        --zipf Z --key-zipf Z --packet-kb N --scale S "
                "--no-compression\n"
+               "        --threads N (host worker threads; 0 = MGJ_THREADS"
+               " env, then hardware)\n"
                "        --trace=out.json --metrics\n"
                "        --faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms,"
                "flap:nvlink2:@1ms:500usx3\n"

@@ -5,8 +5,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "common/bitutil.h"
 #include "common/hash.h"
@@ -213,6 +216,161 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool ran = false;
   ParallelFor(5, 5, [&ran](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndNoTaskIsLost) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter, i] {
+      if (i == 57) throw std::runtime_error("task 57 failed");
+      counter.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Every non-throwing task still ran: a failure must not drop work.
+  EXPECT_EQ(counter.load(), 199);
+  // The error is consumed by the rethrow; the pool is reusable.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(0, 64,
+                  [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, StressManyWaves) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&sum] { sum.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(sum.load(), 50u * 64u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A ParallelFor from inside a pool task must not block on the pool it
+  // runs on (deadlock) or fan out N^2 tasks; it runs inline.
+  std::atomic<int> inner_total{0};
+  ParallelFor(0, 16, [&inner_total](std::size_t) {
+    EXPECT_TRUE(ThreadPool::Default()->num_threads() < 2 ||
+                ThreadPool::InWorker());
+    ParallelFor(0, 8, [&inner_total](std::size_t) {
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 16 * 8);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversRangeOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelForChunked(0, 1000, 64,
+                     [&hits](std::size_t lo, std::size_t hi) {
+                       for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                     });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountPolicy) {
+  const std::size_t hw = std::max<std::size_t>(
+      std::thread::hardware_concurrency(), 1);
+  const std::size_t cap = std::max<std::size_t>(hw, 8);
+  // Explicit requests are honored up to the cap.
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(2), 2u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(100000), cap);
+  // MGJ_THREADS fills in when no explicit request is made.
+  ::setenv("MGJ_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), 3u);
+  ::setenv("MGJ_THREADS", "100000", 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), cap);
+  ::unsetenv("MGJ_THREADS");
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), hw);
+}
+
+TEST(ThreadPoolTest, SetDefaultThreadsResizesPool) {
+  ThreadPool::SetDefaultThreads(2);
+  EXPECT_EQ(ThreadPool::Default()->num_threads(), 2u);
+  ThreadPool::SetDefaultThreads(4);
+  EXPECT_EQ(ThreadPool::Default()->num_threads(), 4u);
+  ThreadPool::SetDefaultThreads(0);  // back to the environment default
+  EXPECT_EQ(ThreadPool::Default()->num_threads(),
+            ThreadPool::ResolveThreadCount(0));
+}
+
+TEST(IndexPermutationTest, IsBijectionOnRange) {
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull, 4096ull, 65537ull}) {
+    IndexPermutation perm(n, /*seed=*/123);
+    std::vector<bool> seen(n, false);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t v = perm.Apply(i);
+      ASSERT_LT(v, n);
+      ASSERT_FALSE(seen[v]) << "duplicate image at n=" << n;
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(IndexPermutationTest, SeedChangesPermutation) {
+  const std::uint64_t n = 4096;
+  IndexPermutation a(n, 1), b(n, 2);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (a.Apply(i) != b.Apply(i)) ++differing;
+  }
+  EXPECT_GT(differing, static_cast<int>(n) / 2);
+}
+
+TEST(IndexPermutationTest, ActuallyShuffles) {
+  const std::uint64_t n = 1u << 16;
+  IndexPermutation perm(n, 42);
+  std::uint64_t fixed_points = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (perm.Apply(i) == i) ++fixed_points;
+  }
+  // A random permutation has ~1 expected fixed point.
+  EXPECT_LT(fixed_points, n / 100);
+}
+
+TEST(CounterHashTest, DeterministicAndSeedSeparated) {
+  EXPECT_EQ(CounterHash(1, 5), CounterHash(1, 5));
+  EXPECT_NE(CounterHash(1, 5), CounterHash(2, 5));
+  EXPECT_NE(CounterHash(1, 5), CounterHash(1, 6));
+  const double d = CounterDouble(9, 9);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(ZipfTest, ValueAtIsOrderIndependent) {
+  ZipfGenerator zipf(1000, 1.0, /*seed=*/7);
+  // Same positions evaluated in any order give the same values.
+  const std::uint64_t a = zipf.ValueAt(10);
+  const std::uint64_t b = zipf.ValueAt(3);
+  EXPECT_EQ(zipf.ValueAt(3), b);
+  EXPECT_EQ(zipf.ValueAt(10), a);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_LT(zipf.ValueAt(i), 1000u);
+  }
+}
+
+TEST(ZipfTest, ValueAtConcentratesOnHeadUnderSkew) {
+  ZipfGenerator zipf(1000, 1.5, /*seed=*/11);
+  std::uint64_t head = 0;
+  const std::uint64_t draws = 20000;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    if (zipf.ValueAt(i) < 10) ++head;
+  }
+  // With z=1.5 the top-10 ranks carry well over half the mass.
+  EXPECT_GT(head, draws / 2);
 }
 
 TEST(LoggingDeathTest, AtFatalHooksRunBeforeAbort) {

@@ -1,0 +1,235 @@
+// Thread-count-invariance suite (DESIGN.md Sec 11): every functional
+// result, matched-pair list, and exported trace must be byte-identical
+// whether the host runs on 1, 2 or 8 worker threads. This property is
+// what makes the CI bench gate sound — a simulated-time regression can
+// never be explained away by "the thread count changed".
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "data/compression.h"
+#include "data/generator.h"
+#include "data/relation.h"
+#include "join/local_join.h"
+#include "join/mg_join.h"
+#include "obs/trace.h"
+#include "topo/presets.h"
+
+namespace mgjoin {
+namespace {
+
+// The thread counts the suite sweeps. ResolveThreadCount clamps
+// explicit requests to max(hardware, 8), so 8 real workers exist even
+// on small CI machines and the interleavings are genuinely exercised.
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+struct JoinRun {
+  join::JoinResult result;
+  std::string trace_json;
+};
+
+JoinRun RunSkewedJoin(std::size_t threads) {
+  ThreadPool::SetDefaultThreads(threads);
+  data::GenOptions gen;
+  gen.tuples_per_relation = 1u << 16;
+  gen.num_gpus = 8;
+  gen.placement_zipf = 0.5;
+  gen.key_zipf = 0.75;  // heavy hitters: deep local recursion
+  auto [r, s] = data::MakeJoinInput(gen);
+
+  auto topo = topo::MakeDgx1V();
+  join::MgJoinOptions opts;
+  opts.materialize_pairs = true;
+  obs::TraceRecorder trace;
+  opts.transfer.obs.trace = &trace;
+  join::MgJoin join(topo.get(), topo::FirstNGpus(8), opts);
+
+  JoinRun run;
+  run.result = join.Execute(r, s).ValueOrDie();
+  run.trace_json = trace.ToJson();
+  return run;
+}
+
+TEST(DeterminismTest, JoinResultAndTraceInvariantAcrossThreadCounts) {
+  const JoinRun base = RunSkewedJoin(kThreadCounts[0]);
+  EXPECT_GT(base.result.matches, 0u);
+  EXPECT_FALSE(base.result.pairs.empty());
+  for (std::size_t t : {kThreadCounts[1], kThreadCounts[2]}) {
+    const JoinRun run = RunSkewedJoin(t);
+    EXPECT_EQ(run.result.matches, base.result.matches) << t;
+    EXPECT_EQ(run.result.checksum, base.result.checksum) << t;
+    EXPECT_EQ(run.result.shuffled_bytes, base.result.shuffled_bytes) << t;
+    EXPECT_EQ(run.result.uncompressed_bytes,
+              base.result.uncompressed_bytes)
+        << t;
+    EXPECT_EQ(run.result.timing.total, base.result.timing.total) << t;
+    EXPECT_EQ(run.result.timing.distribution,
+              base.result.timing.distribution)
+        << t;
+    // Matched pairs: same pairs in the same order, not merely the same
+    // multiset.
+    ASSERT_EQ(run.result.pairs.size(), base.result.pairs.size()) << t;
+    EXPECT_TRUE(run.result.pairs == base.result.pairs) << t;
+    // The exported trace — simulated spans only — is byte-identical.
+    EXPECT_EQ(run.trace_json, base.trace_json) << t;
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+std::uint64_t DigestRelation(const data::DistRelation& rel) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const data::Shard& shard : rel.shards) {
+    for (const data::Tuple& t : shard) {
+      h = (h ^ t.key) * 0x100000001b3ull;
+      h = (h ^ t.id) * 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+TEST(DeterminismTest, GeneratorInvariantAcrossThreadCounts) {
+  data::GenOptions gen;
+  gen.tuples_per_relation = 1u << 17;
+  gen.num_gpus = 4;
+  gen.key_zipf = 1.0;
+  gen.placement_zipf = 0.8;
+
+  ThreadPool::SetDefaultThreads(1);
+  auto [r1, s1] = data::MakeJoinInput(gen);
+  const std::uint64_t dr = DigestRelation(r1);
+  const std::uint64_t ds = DigestRelation(s1);
+  for (std::size_t t : {kThreadCounts[1], kThreadCounts[2]}) {
+    ThreadPool::SetDefaultThreads(t);
+    auto [r, s] = data::MakeJoinInput(gen);
+    EXPECT_EQ(DigestRelation(r), dr) << t;
+    EXPECT_EQ(DigestRelation(s), ds) << t;
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+TEST(DeterminismTest, ReferenceJoinInvariantAndAgreesWithMgJoin) {
+  data::GenOptions gen;
+  gen.tuples_per_relation = 1u << 14;
+  gen.num_gpus = 4;
+  gen.key_zipf = 0.9;
+  auto [r, s] = data::MakeJoinInput(gen);
+
+  ThreadPool::SetDefaultThreads(1);
+  const join::LocalJoinStats ref1 = join::ReferenceJoin(r, s);
+  EXPECT_GT(ref1.matches, 0u);
+  for (std::size_t t : {kThreadCounts[1], kThreadCounts[2]}) {
+    ThreadPool::SetDefaultThreads(t);
+    const join::LocalJoinStats ref = join::ReferenceJoin(r, s);
+    EXPECT_EQ(ref.matches, ref1.matches) << t;
+    EXPECT_EQ(ref.checksum, ref1.checksum) << t;
+    EXPECT_EQ(ref.r_tuples, ref1.r_tuples) << t;
+    EXPECT_EQ(ref.s_tuples, ref1.s_tuples) << t;
+
+    auto topo = topo::MakeDgx1V();
+    join::MgJoin join(topo.get(), topo::FirstNGpus(4),
+                      join::MgJoinOptions{});
+    const join::JoinResult res = join.Execute(r, s).ValueOrDie();
+    EXPECT_EQ(res.matches, ref1.matches) << t;
+    EXPECT_EQ(res.checksum, ref1.checksum) << t;
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+TEST(DeterminismTest, BatchCompressionInvariantAcrossThreadCounts) {
+  // Bucket a relation into radix partitions, then compress the whole
+  // set in parallel; payload bytes must not depend on the thread count
+  // and the round trip must restore every tuple in order.
+  const int domain_bits = 16;
+  const int radix_bits = 6;
+  data::GenOptions gen;
+  gen.tuples_per_relation = 1u << domain_bits;
+  gen.num_gpus = 1;
+  auto [r, s] = data::MakeJoinInput(gen);
+  (void)s;
+  std::vector<std::vector<data::Tuple>> parts(1u << radix_bits);
+  for (const data::Tuple& t : r.shards[0]) {
+    parts[data::RadixPartition(t.key, domain_bits, radix_bits)]
+        .push_back(t);
+  }
+
+  ThreadPool::SetDefaultThreads(1);
+  const auto base =
+      data::CompressPartitions(parts, domain_bits, radix_bits)
+          .ValueOrDie();
+  ASSERT_EQ(base.size(), parts.size());
+  for (std::size_t t : {kThreadCounts[1], kThreadCounts[2]}) {
+    ThreadPool::SetDefaultThreads(t);
+    const auto cps =
+        data::CompressPartitions(parts, domain_bits, radix_bits)
+            .ValueOrDie();
+    ASSERT_EQ(cps.size(), base.size()) << t;
+    for (std::size_t p = 0; p < cps.size(); ++p) {
+      EXPECT_EQ(cps[p].tuple_count, base[p].tuple_count);
+      EXPECT_TRUE(cps[p].payload == base[p].payload) << "partition " << p;
+    }
+    const auto back = data::DecompressPartitions(cps).ValueOrDie();
+    ASSERT_EQ(back.size(), parts.size()) << t;
+    for (std::size_t p = 0; p < back.size(); ++p) {
+      ASSERT_EQ(back[p].size(), parts[p].size()) << "partition " << p;
+      for (std::size_t i = 0; i < back[p].size(); ++i) {
+        EXPECT_EQ(back[p][i].key, parts[p][i].key);
+        EXPECT_EQ(back[p][i].id, parts[p][i].id);
+      }
+    }
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+TEST(DeterminismTest, LocalJoinPairOrderMatchesSerial) {
+  // Per-partition morsels merged in canonical order must reproduce the
+  // serial pair order exactly, including under materialization.
+  data::GenOptions gen;
+  gen.tuples_per_relation = 1u << 13;
+  gen.num_gpus = 1;
+  auto input = [&] {
+    auto [r, s] = data::MakeJoinInput(gen);
+    const int radix_bits = 4;
+    std::vector<std::vector<data::Tuple>> rp(1u << radix_bits),
+        sp(1u << radix_bits);
+    for (const data::Tuple& t : r.shards[0]) {
+      rp[data::RadixPartition(t.key, r.domain_bits, radix_bits)]
+          .push_back(t);
+    }
+    for (const data::Tuple& t : s.shards[0]) {
+      sp[data::RadixPartition(t.key, s.domain_bits, radix_bits)]
+          .push_back(t);
+    }
+    return std::make_pair(rp, sp);
+  };
+
+  join::LocalJoinOptions opts;
+  opts.shared_mem_tuples = 64;  // force recursion
+  opts.materialize_pairs = true;
+
+  ThreadPool::SetDefaultThreads(1);
+  auto [r1, s1] = input();
+  const join::LocalJoinStats serial =
+      join::LocalPartitionAndProbe(&r1, &s1, opts);
+  EXPECT_GT(serial.matches, 0u);
+  for (std::size_t t : {kThreadCounts[1], kThreadCounts[2]}) {
+    ThreadPool::SetDefaultThreads(t);
+    auto [rp, sp] = input();
+    const join::LocalJoinStats par =
+        join::LocalPartitionAndProbe(&rp, &sp, opts);
+    EXPECT_EQ(par.matches, serial.matches) << t;
+    EXPECT_EQ(par.checksum, serial.checksum) << t;
+    EXPECT_EQ(par.max_depth, serial.max_depth) << t;
+    EXPECT_EQ(par.partition_tuple_passes, serial.partition_tuple_passes)
+        << t;
+    EXPECT_TRUE(par.pairs == serial.pairs) << t;
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+}  // namespace
+}  // namespace mgjoin

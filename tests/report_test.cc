@@ -140,7 +140,9 @@ void CheckCriticalPath(const TracedRun& run) {
   sim::SimTime sum = 0;
   for (std::size_t i = 0; i < cp.slices.size(); ++i) {
     EXPECT_LT(cp.slices[i].begin, cp.slices[i].end);
-    if (i > 0) EXPECT_EQ(cp.slices[i].begin, cp.slices[i - 1].end);
+    if (i > 0) {
+      EXPECT_EQ(cp.slices[i].begin, cp.slices[i - 1].end);
+    }
     sum += cp.slices[i].Duration();
   }
   EXPECT_EQ(sum, cp.total);
@@ -245,7 +247,9 @@ std::string StripVolatileLines(const std::string& json) {
     std::size_t eol = json.find('\n', pos);
     if (eol == std::string::npos) eol = json.size();
     const std::string line = json.substr(pos, eol - pos);
-    if (line.find("\"wall_seconds\"") == std::string::npos &&
+    // "wall_" covers both wall_seconds and the single-line wall_phases
+    // breakdown — everything machine-dependent sits on its own line.
+    if (line.find("\"wall_") == std::string::npos &&
         line.find("\"git_commit\"") == std::string::npos) {
       out += line;
       out += '\n';
@@ -286,6 +290,8 @@ TEST(ReportTest, IdenticalRunsProduceIdenticalReports) {
   BenchDoc db = DocFromRun(*b);
   da.wall_seconds = 1.25;
   db.wall_seconds = 99.5;
+  da.wall_phases = {{"host.local_join", 0.5}, {"host.shuffle", 0.1}};
+  db.wall_phases = {{"host.local_join", 9.9}};
   da.git_commit = "aaaa";
   db.git_commit = "bbbb";
   EXPECT_NE(da.ToJson(), db.ToJson());
@@ -310,6 +316,7 @@ BenchDoc MakeDoc() {
   doc.AddPoint("MG-Join", 4.0, 20.5);
   doc.SetSeriesMeta("latency", "ms", false);
   doc.AddPoint("latency", std::string("Q3"), 3.25);
+  doc.wall_phases = {{"host.local_join", 0.75}, {"host.shuffle", 0.25}};
   return doc;
 }
 
@@ -324,6 +331,9 @@ TEST(BenchJsonTest, DocumentRoundTrips) {
   EXPECT_EQ(d.topology, doc.topology);
   EXPECT_EQ(d.gpus, doc.gpus);
   EXPECT_EQ(d.git_commit, doc.git_commit);
+  ASSERT_EQ(d.wall_phases.size(), 2u);
+  EXPECT_EQ(d.wall_phases[0].first, "host.local_join");
+  EXPECT_DOUBLE_EQ(d.wall_phases[0].second, 0.75);
   ASSERT_EQ(d.series.size(), 2u);
   EXPECT_EQ(d.series[0].name, "MG-Join");
   EXPECT_EQ(d.series[0].unit, "GB/s");
@@ -362,6 +372,27 @@ TEST(BenchCompareTest, FlagsRegressionsByDirection) {
 
   opts.threshold = 0.15;
   EXPECT_FALSE(CompareBenchDocs(base, cand, opts).HasRegression());
+}
+
+TEST(BenchCompareTest, WallClockSeriesNeverGate) {
+  // Series whose unit mentions "wall" measure the host machine, not the
+  // simulation; they are reported but must not fail the build.
+  BenchDoc base = MakeDoc();
+  BenchDoc cand = MakeDoc();
+  base.SetSeriesMeta("speedup", "x (wall)", true);
+  base.AddPoint("speedup", 8.0, 4.0);
+  cand.SetSeriesMeta("speedup", "x (wall)", true);
+  cand.AddPoint("speedup", 8.0, 1.0);  // -75%: would gate if simulated
+  CompareOptions opts;
+  opts.threshold = 0.05;
+  const CompareReport rep = CompareBenchDocs(base, cand, opts);
+  EXPECT_EQ(rep.regressions, 0);
+  EXPECT_FALSE(rep.HasRegression());
+  EXPECT_NE(rep.text.find("wall-clock, not gating"), std::string::npos);
+
+  // A simulated-time regression in the same document still gates.
+  cand.series[0].points[0].y = 1.0;
+  EXPECT_TRUE(CompareBenchDocs(base, cand, opts).HasRegression());
 }
 
 TEST(BenchCompareTest, CountsMissingPoints) {

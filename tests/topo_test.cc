@@ -282,7 +282,9 @@ TEST(DgxStationTest, FullyConnected) {
   EXPECT_EQ(topo->num_gpus(), 4);
   for (int a = 0; a < 4; ++a) {
     for (int b = 0; b < 4; ++b) {
-      if (a != b) EXPECT_TRUE(topo->HasNvLink(a, b));
+      if (a != b) {
+        EXPECT_TRUE(topo->HasNvLink(a, b));
+      }
     }
   }
 }
@@ -292,7 +294,9 @@ TEST(Dgx2Test, SixteenGpusFullyConnected) {
   EXPECT_EQ(topo->num_gpus(), 16);
   for (int a = 0; a < 16; ++a) {
     for (int b = 0; b < 16; ++b) {
-      if (a != b) EXPECT_TRUE(topo->HasNvLink(a, b));
+      if (a != b) {
+        EXPECT_TRUE(topo->HasNvLink(a, b));
+      }
     }
   }
   EXPECT_GT(topo->BisectionBandwidth(AllGpus(*topo)), 0);
