@@ -141,9 +141,9 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec,
     if (op == "down" || op == "restore") {
       if (f.size() != 3) return bad("expected " + op + ":<link>:@<time>");
       auto link = topo.ResolveLinkSpec(f[1]);
-      if (!link.ok()) return link.status();
+      if (!link.ok()) return bad(link.status().message());
       auto at = ParseAtTime(f[2]);
-      if (!at.ok()) return at.status();
+      if (!at.ok()) return bad(at.status().message());
       if (op == "down") {
         plan.Down(link.value(), at.value());
       } else {
@@ -152,7 +152,7 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec,
     } else if (op == "degrade") {
       if (f.size() != 4) return bad("expected degrade:<link>:<factor>:@<time>");
       auto link = topo.ResolveLinkSpec(f[1]);
-      if (!link.ok()) return link.status();
+      if (!link.ok()) return bad(link.status().message());
       char* end = nullptr;
       const double factor = std::strtod(f[2].c_str(), &end);
       if (end == f[2].c_str() || *end != '\0' || !(factor > 0.0) ||
@@ -160,21 +160,21 @@ Result<FaultPlan> FaultPlan::Parse(const std::string& spec,
         return bad("factor '" + f[2] + "' must be a number in (0, 1]");
       }
       auto at = ParseAtTime(f[3]);
-      if (!at.ok()) return at.status();
+      if (!at.ok()) return bad(at.status().message());
       plan.Degrade(link.value(), factor, at.value());
     } else if (op == "flap") {
       // flap:<link>:@<time>:<half_period>x<cycles>
       if (f.size() != 4) return bad("expected flap:<link>:@<time>:<half>x<n>");
       auto link = topo.ResolveLinkSpec(f[1]);
-      if (!link.ok()) return link.status();
+      if (!link.ok()) return bad(link.status().message());
       auto at = ParseAtTime(f[2]);
-      if (!at.ok()) return at.status();
+      if (!at.ok()) return bad(at.status().message());
       const std::size_t x = f[3].rfind('x');
       if (x == std::string::npos || x == 0 || x + 1 >= f[3].size()) {
         return bad("expected '<half_period>x<cycles>', got '" + f[3] + "'");
       }
       auto half = ParseDuration(f[3].substr(0, x));
-      if (!half.ok()) return half.status();
+      if (!half.ok()) return bad(half.status().message());
       if (half.value() == 0) return bad("flap half-period must be positive");
       char* end = nullptr;
       const long cycles = std::strtol(f[3].c_str() + x + 1, &end, 10);

@@ -1,0 +1,128 @@
+#include "scenario/corpus.h"
+
+namespace mgjoin::scenario {
+
+// Workload sizing note: 8192 tuples/GPU x 8 B is ~64 KiB of functional
+// data per GPU per relation; virtual_scale then stretches the *timing*
+// to hundreds of MiB so the distribution runs for milliseconds and the
+// scheduled faults genuinely land mid-shuffle (the same calibration the
+// engine-level fault tests use). expect_matches is pinned only where
+// key_zipf = 0 makes it structural (unique keys: matches == |R|).
+const std::vector<NamedScenario>& Corpus() {
+  static const std::vector<NamedScenario> corpus = {
+      {"baseline-clean-dgx1",
+       "name = baseline-clean-dgx1\n"
+       "topology = dgx1\n"
+       "tuples_per_gpu = 8192\n"
+       "virtual_scale = 256\n"
+       "expect_matches = 65536\n"},
+
+      {"hot-key-zipf15-nvlink-flap-storm",
+       "# The issue's marquee case: heavy hitters while two NVLinks\n"
+       "# flap through the shuffle window.\n"
+       "name = hot-key-zipf15-nvlink-flap-storm\n"
+       "tuples_per_gpu = 8192\n"
+       "key_zipf = 1.5\n"
+       "virtual_scale = 1024\n"
+       "faults = flap:nvlink2:@1ms:400usx4,flap:nvlink5:@1500us:300usx3\n"},
+
+      {"degraded-qpi-forced-recursion",
+       "# Extreme key skew drives the local phase into deep recursion\n"
+       "# while the socket interconnect crawls at 20%.\n"
+       "name = degraded-qpi-forced-recursion\n"
+       "tuples_per_gpu = 8192\n"
+       "key_zipf = 2.5\n"
+       "virtual_scale = 1024\n"
+       "faults = degrade:qpi0:0.2:@0us\n"},
+
+      {"placement-skew-extreme",
+       "name = placement-skew-extreme\n"
+       "tuples_per_gpu = 8192\n"
+       "placement_zipf = 1.5\n"
+       "virtual_scale = 512\n"
+       "expect_matches = 65536\n"},
+
+      {"skew-cross-fault-down-restore",
+       "# Both skew axes at once, plus a mid-shuffle link outage.\n"
+       "name = skew-cross-fault-down-restore\n"
+       "tuples_per_gpu = 8192\n"
+       "placement_zipf = 0.75\n"
+       "key_zipf = 0.75\n"
+       "virtual_scale = 1024\n"
+       "faults = down:gpu0-gpu3:@800us,restore:gpu0-gpu3:@4ms\n"},
+
+      {"dgxstation-direct-pcie-flap",
+       "# Static direct routing on the 4-GPU box while a PCIe switch\n"
+       "# link flaps: exercises the static-policy fallback path.\n"
+       "name = dgxstation-direct-pcie-flap\n"
+       "topology = dgxstation\n"
+       "tuples_per_gpu = 8192\n"
+       "policy = direct\n"
+       "virtual_scale = 512\n"
+       "faults = flap:pcie0:@500us:250usx4\n"
+       "expect_matches = 32768\n"},
+
+      {"dgx2-bisection-degrade",
+       "name = dgx2-bisection-degrade\n"
+       "topology = dgx2\n"
+       "tuples_per_gpu = 4096\n"
+       "virtual_scale = 512\n"
+       "faults = degrade:nvlink3:0.3:@200us,degrade:nvlink7:0.3:@200us\n"
+       "expect_matches = 65536\n"},
+
+      {"single-gpu-smoke",
+       "name = single-gpu-smoke\n"
+       "topology = single\n"
+       "tuples_per_gpu = 8192\n"
+       "expect_matches = 8192\n"},
+
+      {"tiny-packets-starved-rings",
+       "# Contention case: small packets, tiny routing buffers, short\n"
+       "# batches — maximum ring-sync pressure under placement skew.\n"
+       "name = tiny-packets-starved-rings\n"
+       "tuples_per_gpu = 8192\n"
+       "placement_zipf = 0.5\n"
+       "packet_kb = 256\n"
+       "batch_packets = 2\n"
+       "ring_mb = 2\n"
+       "virtual_scale = 1024\n"
+       "expect_matches = 65536\n"},
+
+      {"centralized-flap-survival",
+       "name = centralized-flap-survival\n"
+       "tuples_per_gpu = 8192\n"
+       "policy = centralized\n"
+       "virtual_scale = 512\n"
+       "faults = flap:gpu0-gpu3:@1ms:500usx2\n"
+       "expect_matches = 65536\n"},
+
+      {"threads8-faulted-replay",
+       "# PR 2 x PR 4 crossover: a faulted run on 8 host threads must\n"
+       "# verdict identically to the single-threaded runs around it.\n"
+       "name = threads8-faulted-replay\n"
+       "tuples_per_gpu = 8192\n"
+       "key_zipf = 0.5\n"
+       "threads = 8\n"
+       "virtual_scale = 1024\n"
+       "faults = down:gpu1-gpu2:@600us,restore:gpu1-gpu2:@3ms\n"},
+
+      {"no-compression-hotkey-degrade",
+       "name = no-compression-hotkey-degrade\n"
+       "tuples_per_gpu = 8192\n"
+       "key_zipf = 1.25\n"
+       "compression = off\n"
+       "virtual_scale = 512\n"
+       "faults = degrade:gpu0-gpu3:0.5:@0us\n"},
+  };
+  return corpus;
+}
+
+Result<ScenarioSpec> FindScenario(const std::string& name) {
+  for (const NamedScenario& s : Corpus()) {
+    if (name == s.name) return LoadScenario(s.text);
+  }
+  return Status::NotFound("no scenario named '" + name +
+                          "' in the corpus (see `mgjoin scenario list`)");
+}
+
+}  // namespace mgjoin::scenario

@@ -1,0 +1,34 @@
+#ifndef MGJOIN_SCENARIO_CORPUS_H_
+#define MGJOIN_SCENARIO_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "scenario/scenario.h"
+
+namespace mgjoin::scenario {
+
+/// \brief The committed corpus of named adversarial scenarios: every
+/// skew x fault x contention combination the engine has been proven to
+/// survive, in DSL form.
+///
+/// The corpus is the fuzzer's mutation seed set and the `ctest -R
+/// scenario` regression suite: every entry must run to a passing
+/// verdict on every commit. Specs live in the binary (not files) so the
+/// tests need no data-path plumbing; `mgjoin scenario run <name>`
+/// resolves the same names.
+struct NamedScenario {
+  const char* name;
+  const char* text;  ///< DSL source (LoadScenario-parseable)
+};
+
+/// All committed scenarios, in stable order.
+const std::vector<NamedScenario>& Corpus();
+
+/// Loads a corpus entry by name.
+Result<ScenarioSpec> FindScenario(const std::string& name);
+
+}  // namespace mgjoin::scenario
+
+#endif  // MGJOIN_SCENARIO_CORPUS_H_

@@ -1,0 +1,235 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/bitutil.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "data/generator.h"
+#include "exec/engine.h"
+#include "join/join_types.h"
+#include "join/local_join.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "topo/presets.h"
+
+namespace mgjoin::scenario {
+
+namespace {
+
+/// One-column table per shard carrying the relation's keys, the form
+/// exec::Engine::HashJoin consumes.
+exec::DistTable KeysToTable(const data::DistRelation& rel) {
+  exec::DistTable t;
+  t.shards.resize(rel.shards.size());
+  for (std::size_t g = 0; g < rel.shards.size(); ++g) {
+    exec::Column& col = t.shards[g].AddColumn("key", exec::ColType::kInt64);
+    col.ints.reserve(rel.shards[g].size());
+    for (const data::Tuple& tup : rel.shards[g]) {
+      col.ints.push_back(static_cast<std::int64_t>(tup.key));
+    }
+  }
+  return t;
+}
+
+/// The relation HashJoin derives internally: same keys, ids replaced by
+/// global row position. Running the oracle over this makes its checksum
+/// directly comparable to the engine's.
+data::DistRelation GlobalRowRelation(const data::DistRelation& rel,
+                                     int* max_domain_bits) {
+  data::DistRelation out;
+  out.shards.resize(rel.shards.size());
+  std::uint32_t max_key = 0;
+  std::uint32_t next_global = 0;
+  for (std::size_t g = 0; g < rel.shards.size(); ++g) {
+    out.shards[g].reserve(rel.shards[g].size());
+    for (const data::Tuple& tup : rel.shards[g]) {
+      max_key = std::max(max_key, tup.key);
+      out.shards[g].push_back(data::Tuple{tup.key, next_global++});
+    }
+  }
+  *max_domain_bits = std::max(
+      *max_domain_bits,
+      std::max(1, Log2Ceil(static_cast<std::uint64_t>(max_key) + 1)));
+  return out;
+}
+
+}  // namespace
+
+std::string ScenarioVerdict::ToText() const {
+  std::ostringstream out;
+  out << (passed ? "PASS" : "FAIL") << ": matches=" << matches
+      << " reference=" << reference_matches
+      << " sim_ms=" << sim::ToMillis(sim_total)
+      << " shuffled_bytes=" << shuffled_bytes
+      << " fault_reroutes=" << fault_reroutes
+      << " fault_aborts=" << fault_aborts
+      << " auditor_violations=" << auditor_violations
+      << " trace_events=" << trace_events << "\n";
+  for (const std::string& f : failures) out << "  check failed: " << f << "\n";
+  return out.str();
+}
+
+ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
+  ScenarioVerdict v;
+  if (const Status st = ValidateScenario(spec); !st.ok()) {
+    v.failures.push_back("spec invalid: " + st.ToString());
+    return v;
+  }
+
+  const auto topo = spec.MakeTopology();
+  const int g = spec.ResolvedGpus(*topo);
+  const auto gpus = topo::FirstNGpus(g);
+
+  // The thread knob stresses the determinism contract; restore the
+  // process default afterwards so runs do not leak into each other.
+  if (spec.threads > 0) {
+    ThreadPool::SetDefaultThreads(static_cast<std::size_t>(spec.threads));
+  }
+
+  data::GenOptions gen;
+  gen.tuples_per_relation = spec.tuples_per_gpu * static_cast<std::uint64_t>(g);
+  gen.num_gpus = g;
+  gen.placement_zipf = spec.placement_zipf;
+  gen.key_zipf = spec.key_zipf;
+  gen.seed = spec.seed;
+  auto [r, s] = data::MakeJoinInput(gen);
+
+  // The oracle: a single-node hash join over the same keys, ids
+  // rewritten to global row positions exactly as HashJoin does.
+  int domain_bits = 1;
+  data::DistRelation rr = GlobalRowRelation(r, &domain_bits);
+  data::DistRelation ss = GlobalRowRelation(s, &domain_bits);
+  rr.domain_bits = domain_bits;
+  ss.domain_bits = domain_bits;
+  const join::LocalJoinStats oracle = join::ReferenceJoin(rr, ss);
+  v.reference_matches = oracle.matches;
+
+  obs::TraceRecorder trace;
+  obs::InvariantAuditor auditor;
+  std::vector<std::string> violations;
+  auditor.set_failure_handler(
+      [&violations](const std::string& m) { violations.push_back(m); });
+
+  exec::EngineOptions opts;
+  opts.join.policy = spec.PolicyKind();
+  opts.join.transfer.packet_bytes = spec.packet_kb * kKiB;
+  opts.join.transfer.batch_packets = spec.batch_packets;
+  opts.join.transfer.ring_buffer_bytes =
+      static_cast<std::uint64_t>(spec.ring_mb) * kMiB;
+  opts.join.use_compression = spec.compression;
+  opts.join.virtual_scale = spec.virtual_scale;
+  opts.join.host_threads = spec.threads;
+  opts.join.transfer.obs.trace = &trace;
+  opts.join.transfer.obs.auditor = &auditor;
+  if (!spec.faults.empty()) {
+    // Validation already proved the spec parses.
+    opts.join.transfer.faults =
+        net::FaultPlan::Parse(spec.faults, *topo).value();
+  }
+
+  exec::Engine engine(topo.get(), gpus, opts);
+  const exec::DistTable left = KeysToTable(r);
+  const exec::DistTable right = KeysToTable(s);
+  auto joined = engine.HashJoin(left, "key", right, "key");
+
+  if (spec.threads > 0) ThreadPool::SetDefaultThreads(0);
+
+  if (!joined.ok()) {
+    v.failures.push_back("join failed: " + joined.status().ToString());
+    v.auditor_violations = violations.size();
+    for (const std::string& m : violations) v.failures.push_back(m);
+    return v;
+  }
+  const exec::Engine::Joined& out = joined.value();
+
+  v.matches = out.stats.matches;
+  v.checksum = out.stats.checksum;
+  v.sim_total = engine.elapsed();
+  v.shuffled_bytes = out.stats.shuffled_bytes;
+  v.fault_reroutes = out.stats.net.fault_reroutes;
+  v.fault_aborts = out.stats.net.fault_aborts;
+  v.auditor_violations = violations.size();
+  v.trace_events = trace.num_events();
+  v.trace_json = trace.ToJson();
+
+  // --- Result vs ReferenceJoin oracle. ---
+  if (out.stats.matches != oracle.matches) {
+    v.failures.push_back(
+        "matches " + std::to_string(out.stats.matches) +
+        " != reference " + std::to_string(oracle.matches));
+  }
+  if (out.stats.checksum != oracle.checksum) {
+    v.failures.push_back("checksum mismatch vs reference join");
+  }
+  if (out.pairs.size() != out.stats.matches) {
+    v.failures.push_back(
+        "materialized " + std::to_string(out.pairs.size()) +
+        " pairs but counted " + std::to_string(out.stats.matches) +
+        " matches");
+  }
+  std::uint64_t pair_checksum = 0;
+  for (const auto& [rid, sid] : out.pairs) {
+    join::AccumulateMatch(rid, sid, &pair_checksum);
+  }
+  if (pair_checksum != oracle.checksum) {
+    v.failures.push_back("pair-set checksum mismatch vs reference join");
+  }
+  if (spec.expect_matches >= 0 &&
+      out.stats.matches !=
+          static_cast<std::uint64_t>(spec.expect_matches)) {
+    v.failures.push_back(
+        "expect_matches " + std::to_string(spec.expect_matches) +
+        " but got " + std::to_string(out.stats.matches));
+  }
+
+  // --- Auditor (includes the no-progress deadlock watchdog). ---
+  for (const std::string& m : violations) v.failures.push_back(m);
+
+  // --- Trace well-formedness. ---
+  if (trace.num_events() == 0) {
+    v.failures.push_back("run recorded no trace events");
+  } else {
+    auto events = obs::report::EventsFromTraceJson(v.trace_json);
+    if (!events.ok()) {
+      v.failures.push_back("trace does not parse back: " +
+                           events.status().ToString());
+    } else {
+      bool join_total = false;
+      for (const obs::TraceEvent& ev : events.value()) {
+        if (ev.track == "join.phases" && ev.name == "join_total") {
+          join_total = true;
+        }
+      }
+      if (!join_total) {
+        v.failures.push_back("trace is missing the join_total phase span");
+      }
+      const obs::report::RunReport rep =
+          obs::report::BuildRunReport(events.value());
+      const auto& cp = rep.critical_path;
+      if (cp.total == 0) {
+        v.failures.push_back("critical path attributes zero time");
+      }
+      sim::SimTime cursor = 0;
+      bool tiles = true;
+      for (const auto& slice : cp.slices) {
+        if (slice.begin != cursor) tiles = false;
+        cursor = slice.end;
+      }
+      if (!tiles || cursor != cp.total) {
+        v.failures.push_back(
+            "critical-path slices do not tile [0, total]");
+      }
+    }
+  }
+  if (v.sim_total == 0) {
+    v.failures.push_back("simulated time did not advance");
+  }
+
+  v.passed = v.failures.empty();
+  return v;
+}
+
+}  // namespace mgjoin::scenario

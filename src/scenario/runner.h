@@ -1,0 +1,56 @@
+#ifndef MGJOIN_SCENARIO_RUNNER_H_
+#define MGJOIN_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+
+namespace mgjoin::scenario {
+
+/// \brief The invariant-checked outcome of one scenario run.
+///
+/// A run *passes* only when every check holds:
+///  - the join completes (no deadlock; the auditor's watchdog stays
+///    quiet and the engine reports done),
+///  - matches, checksum and the materialized pair set agree with the
+///    single-node ReferenceJoin oracle on the same input,
+///  - the InvariantAuditor records zero violations,
+///  - the recorded trace is well-formed: it parses back through the
+///    report pipeline and its critical path tiles [0, total] exactly,
+///  - the spec's expect_matches assertion (when present) holds.
+///
+/// Failures are accumulated, not short-circuited, so one artifact names
+/// every broken invariant at once.
+struct ScenarioVerdict {
+  bool passed = false;
+  /// One human-readable line per failed check (empty when passed).
+  std::vector<std::string> failures;
+
+  std::uint64_t matches = 0;
+  std::uint64_t reference_matches = 0;
+  std::uint64_t checksum = 0;
+  sim::SimTime sim_total = 0;
+  std::uint64_t shuffled_bytes = 0;
+  std::uint64_t fault_reroutes = 0;
+  std::uint64_t fault_aborts = 0;
+  std::uint64_t auditor_violations = 0;
+  std::uint64_t trace_events = 0;
+  /// Chrome trace of the run (artifact payload on failure).
+  std::string trace_json;
+
+  /// Compact report, e.g. for the CLI and fuzz logs.
+  std::string ToText() const;
+};
+
+/// \brief Validates and executes `spec` through exec::Engine under an
+/// always-on InvariantAuditor, and verdicts the run (see
+/// ScenarioVerdict). Validation errors come back as a failed verdict,
+/// so fuzzers can treat every outcome uniformly.
+ScenarioVerdict RunScenario(const ScenarioSpec& spec);
+
+}  // namespace mgjoin::scenario
+
+#endif  // MGJOIN_SCENARIO_RUNNER_H_

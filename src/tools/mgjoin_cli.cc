@@ -8,6 +8,9 @@
 //                [--faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
 //   mgjoin report <trace.json>
+//   mgjoin scenario list
+//   mgjoin scenario show <name>
+//   mgjoin scenario run  <name|spec-file> [--trace=out.json]
 //
 // Policies: adaptive (default), direct, bandwidth, hopcount, latency,
 // centralized.
@@ -26,6 +29,12 @@
 // `mgjoin report trace.json` re-reads a trace written by `--trace` (or
 // by a bench under MGJ_TRACE) and prints the critical-path attribution
 // and per-link congestion report (obs/report.h).
+//
+// `mgjoin scenario` drives the adversarial scenario engine
+// (scenario/scenario.h): `list` names the committed corpus, `show`
+// prints a corpus spec in DSL form, and `run` executes a corpus entry
+// or a spec file under the invariant auditor and prints the verdict
+// (exit 0 iff every check passed).
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +50,9 @@
 #include "join/umj.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "scenario/corpus.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "topo/presets.h"
 #include "tpch/dbgen.h"
 #include "tpch/omnisci_model.h"
@@ -284,9 +296,68 @@ int CmdReport(int argc, char** argv) {
   return 0;
 }
 
+// Corpus names win over paths so `run` behaves the same as the docs'
+// `mgjoin scenario run <name>`; anything not in the corpus is loaded as
+// a spec file.
+Result<scenario::ScenarioSpec> ResolveScenario(const std::string& arg) {
+  auto named = scenario::FindScenario(arg);
+  if (named.ok()) return named;
+  auto from_file = scenario::LoadScenarioFile(arg);
+  if (from_file.ok()) return from_file;
+  return Status::InvalidArgument(arg + " is neither a corpus scenario (" +
+                                 named.status().ToString() +
+                                 ") nor a loadable spec file (" +
+                                 from_file.status().ToString() + ")");
+}
+
+int CmdScenario(int argc, char** argv) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub == "list") {
+    for (const auto& named : scenario::Corpus()) {
+      std::printf("%s\n", named.name);
+    }
+    return 0;
+  }
+  if ((sub == "show" || sub == "run") && argc >= 4) {
+    auto spec = ResolveScenario(argv[3]);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    if (sub == "show") {
+      std::printf("%s", spec.value().ToText().c_str());
+      return 0;
+    }
+    const Args args = ParseArgs(argc, argv, 4);
+    const scenario::ScenarioVerdict verdict =
+        scenario::RunScenario(spec.value());
+    std::printf("%s: %s", spec.value().name.c_str(),
+                verdict.ToText().c_str());
+    const std::string trace_path = args.Get("trace", "");
+    if (!trace_path.empty() && !verdict.trace_json.empty()) {
+      std::FILE* f = std::fopen(trace_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::fwrite(verdict.trace_json.data(), 1, verdict.trace_json.size(), f);
+      std::fclose(f);
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    return verdict.passed ? 0 : 1;
+  }
+  std::fprintf(stderr,
+               "usage: mgjoin scenario list\n"
+               "       mgjoin scenario show <name>\n"
+               "       mgjoin scenario run  <name|spec-file> "
+               "[--trace=out.json]\n");
+  return 1;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: mgjoin <topo|join|tpch|report> [--flag value ...]\n"
+               "usage: mgjoin <topo|join|tpch|report|scenario> "
+               "[--flag value ...]\n"
                "  topo  --machine dgx1|dgxstation|dgx2\n"
                "  join  --gpus N --tuples N --policy adaptive|direct|"
                "bandwidth|hopcount|latency|centralized\n"
@@ -300,7 +371,11 @@ void Usage() {
                "  tpch  --query 3|5|10|12|14|19|all --sf F "
                "--virtual-sf F\n"
                "  report <trace.json>   critical-path + congestion "
-               "analysis of a recorded trace\n");
+               "analysis of a recorded trace\n"
+               "  scenario list | show <name> | run <name|spec-file> "
+               "[--trace=out.json]\n"
+               "        invariant-checked adversarial scenario runs "
+               "(see scenario/corpus.cc)\n");
 }
 
 }  // namespace
@@ -316,6 +391,7 @@ int main(int argc, char** argv) {
   if (cmd == "join") return CmdJoin(args);
   if (cmd == "tpch") return CmdTpch(args);
   if (cmd == "report") return CmdReport(argc, argv);
+  if (cmd == "scenario") return CmdScenario(argc, argv);
   Usage();
   return 1;
 }

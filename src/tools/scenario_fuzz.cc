@@ -1,0 +1,107 @@
+// scenario_fuzz — property-based fuzzer over the scenario engine.
+//
+//   scenario_fuzz [--seed=N] [--iters=M] [--artifacts=DIR]
+//                 [--only=SCENARIO] [--corpus] [--list] [--verbose]
+//
+// Each iteration picks a committed corpus scenario (scenario/corpus.cc),
+// mutates it into a new valid spec (skew, workload, topology, routing,
+// transfer knobs, survivable fault groups), and runs it through the
+// invariant-checked runner. Any failing verdict is shrunk to a minimal
+// repro and written to --artifacts as `<name>.scenario` plus
+// `<name>.trace.json`; the exit code is the number of failures (0 = the
+// property held everywhere).
+//
+// `--corpus` additionally runs every named corpus scenario unmutated
+// first — the same gate `ctest -R scenario` applies — so one invocation
+// covers regression + exploration (this is what the CI job runs).
+// Fully deterministic from --seed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/corpus.h"
+#include "scenario/fuzz.h"
+#include "scenario/runner.h"
+
+using namespace mgjoin;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scenario_fuzz [--seed=N] [--iters=M] "
+               "[--artifacts=DIR] [--only=SCENARIO]\n"
+               "                     [--corpus] [--list] [--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenario::FuzzOptions opts;
+  bool run_corpus = false;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      opts.iters = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--artifacts=", 0) == 0) {
+      opts.artifact_dir = arg.substr(12);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      opts.only = arg.substr(7);
+    } else if (arg == "--corpus") {
+      run_corpus = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (list_only) {
+    for (const auto& named : scenario::Corpus()) {
+      std::printf("%s\n", named.name);
+    }
+    return 0;
+  }
+
+  int failures = 0;
+
+  if (run_corpus) {
+    for (const auto& named : scenario::Corpus()) {
+      if (!opts.only.empty() && opts.only != named.name) continue;
+      auto spec = scenario::LoadScenario(named.text);
+      if (!spec.ok()) {
+        std::printf("corpus %-34s LOAD FAILED: %s\n", named.name,
+                    spec.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      const scenario::ScenarioVerdict v = scenario::RunScenario(spec.value());
+      std::printf("corpus %-34s %s", named.name, v.ToText().c_str());
+      if (!v.passed) ++failures;
+    }
+  }
+
+  const scenario::FuzzResult result = scenario::RunFuzz(opts);
+  std::printf("fuzz: %d iterations, %zu failures (seed=%llu)\n",
+              result.iterations, result.failures.size(),
+              static_cast<unsigned long long>(opts.seed));
+  for (const auto& f : result.failures) {
+    std::printf("---- minimized repro: %s ----\n%s%s",
+                f.minimized.name.c_str(), f.minimized.ToText().c_str(),
+                f.verdict_text.c_str());
+    if (!f.spec_path.empty()) {
+      std::printf("artifacts: %s, %s\n", f.spec_path.c_str(),
+                  f.trace_path.c_str());
+    }
+    ++failures;
+  }
+  return failures;
+}

@@ -147,6 +147,69 @@ TEST(ZipfTest, ValuesInRange) {
   for (int i = 0; i < 10000; ++i) EXPECT_LT(gen.Next(), 37u);
 }
 
+TEST(ZipfTest, SingleValueDomainIsConstantOnBothStreams) {
+  // n=1 leaves no randomness at all: the sequential and the
+  // counter-based stream must both pin every draw to 0, at any skew.
+  for (const double z : {0.0, 1.0, 6.0}) {
+    ZipfGenerator gen(1, z, 123);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(gen.Next(), 0u) << "z=" << z;
+      EXPECT_EQ(gen.ValueAt(i), 0u) << "z=" << z;
+    }
+  }
+}
+
+TEST(ZipfTest, ZeroSkewValueAtIsRoughlyUniform) {
+  // The counter-based stream must degenerate to uniform at z=0 just
+  // like Next() does (same CDF, different stream).
+  ZipfGenerator gen(10, 0.0, 99);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[gen.ValueAt(i)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, VeryLargeSkewIsNearlyDegenerate) {
+  // At z > 4 the distribution is almost all rank 0; both streams must
+  // agree on that without overflowing the CDF normalization.
+  ZipfGenerator gen(1000, 6.0, 31);
+  const int n = 20000;
+  int next_head = 0, value_at_head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next() == 0) ++next_head;
+    if (gen.ValueAt(static_cast<std::uint64_t>(i)) == 0) ++value_at_head;
+  }
+  EXPECT_GT(next_head, n * 95 / 100);
+  EXPECT_GT(value_at_head, n * 95 / 100);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_LT(gen.ValueAt(i), 1000u);
+  }
+}
+
+TEST(ZipfTest, StreamsShareTheCdfButNotTheSequence) {
+  // Next() and ValueAt() are documented as *distinct* streams over the
+  // same distribution: at the uniform and heavy-skew extremes their
+  // per-value frequencies must track each other closely, while the
+  // sequences themselves are allowed (and expected) to differ.
+  for (const double z : {0.0, 4.5}) {
+    ZipfGenerator seq(50, z, 77);
+    ZipfGenerator ctr(50, z, 77);
+    const int n = 200000;
+    std::map<std::uint64_t, int> seq_counts, ctr_counts;
+    for (int i = 0; i < n; ++i) {
+      ++seq_counts[seq.Next()];
+      ++ctr_counts[ctr.ValueAt(static_cast<std::uint64_t>(i))];
+    }
+    for (std::uint64_t v = 0; v < 50; ++v) {
+      EXPECT_NEAR(static_cast<double>(seq_counts[v]) / n,
+                  static_cast<double>(ctr_counts[v]) / n, 0.015)
+          << "z=" << z << " value " << v;
+    }
+  }
+}
+
 TEST(BitUtilTest, Log2Ceil) {
   EXPECT_EQ(Log2Ceil(0), 0);
   EXPECT_EQ(Log2Ceil(1), 0);

@@ -17,6 +17,7 @@
 #include "data/relation.h"
 #include "join/local_join.h"
 #include "join/mg_join.h"
+#include "net/fault_plan.h"
 #include "obs/trace.h"
 #include "topo/presets.h"
 
@@ -78,6 +79,58 @@ TEST(DeterminismTest, JoinResultAndTraceInvariantAcrossThreadCounts) {
     // The exported trace — simulated spans only — is byte-identical.
     EXPECT_EQ(run.trace_json, base.trace_json) << t;
   }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+JoinRun RunFaultedJoin(std::size_t threads) {
+  ThreadPool::SetDefaultThreads(threads);
+  data::GenOptions gen;
+  gen.tuples_per_relation = 1u << 16;
+  gen.num_gpus = 8;
+  gen.placement_zipf = 0.5;
+  gen.key_zipf = 0.75;
+  auto [r, s] = data::MakeJoinInput(gen);
+
+  auto topo = topo::MakeDgx1V();
+  join::MgJoinOptions opts;
+  opts.materialize_pairs = true;
+  opts.virtual_scale = 512;  // stretch the shuffle so the faults land
+  opts.transfer.faults =
+      net::FaultPlan::Parse(
+          "down:gpu0-gpu3:@1ms,restore:gpu0-gpu3:@4ms,"
+          "flap:nvlink5:@1ms:300usx3,degrade:qpi0:0.4:@0us",
+          *topo)
+          .ValueOrDie();
+  obs::TraceRecorder trace;
+  opts.transfer.obs.trace = &trace;
+  join::MgJoin join(topo.get(), topo::FirstNGpus(8), opts);
+
+  JoinRun run;
+  run.result = join.Execute(r, s).ValueOrDie();
+  run.trace_json = trace.ToJson();
+  return run;
+}
+
+TEST(DeterminismTest, FaultedRunInvariantAcrossThreadCounts) {
+  // PR 2 x PR 4 crossover: repair/retry machinery (reroutes, batch
+  // aborts, waits) must replay identically — down to the exported trace
+  // bytes — whether the host runs 1 worker or 8.
+  const JoinRun base = RunFaultedJoin(1);
+  EXPECT_GT(base.result.matches, 0u);
+  EXPECT_GT(base.result.net.fault_reroutes + base.result.net.fault_waits,
+            0u)
+      << "fault schedule never intersected the shuffle; re-calibrate";
+  const JoinRun run = RunFaultedJoin(8);
+  EXPECT_EQ(run.result.matches, base.result.matches);
+  EXPECT_EQ(run.result.checksum, base.result.checksum);
+  EXPECT_EQ(run.result.shuffled_bytes, base.result.shuffled_bytes);
+  EXPECT_EQ(run.result.timing.total, base.result.timing.total);
+  EXPECT_EQ(run.result.net.fault_reroutes, base.result.net.fault_reroutes);
+  EXPECT_EQ(run.result.net.fault_aborts, base.result.net.fault_aborts);
+  EXPECT_EQ(run.result.net.fault_waits, base.result.net.fault_waits);
+  ASSERT_EQ(run.result.pairs.size(), base.result.pairs.size());
+  EXPECT_TRUE(run.result.pairs == base.result.pairs);
+  EXPECT_EQ(run.trace_json, base.trace_json);
   ThreadPool::SetDefaultThreads(0);
 }
 

@@ -137,6 +137,34 @@ TEST_F(FaultPlanTest, RejectsMalformedSpecs) {
       FaultPlan::Parse("down:gpu0-gpu3:@5ms,bogus:qpi0:@1ms", *topo_).ok());
 }
 
+TEST_F(FaultPlanTest, ParseErrorsNameTheFailingClause) {
+  // Every error — including ones surfaced by the link resolver and the
+  // time parser, not just the clause splitter — must say which clause
+  // of a multi-clause spec failed, so `mgjoin --faults` and the
+  // scenario loader can report it directly.
+  struct Case {
+    const char* spec;
+    const char* clause;
+  };
+  const Case cases[] = {
+      {"down:gpu0-gpu3:@5ms,down:gpu0-gpu9:@1ms", "down:gpu0-gpu9:@1ms"},
+      {"down:gpu0-gpu3:@5ms,restore:gpu0-gpu3:@5parsecs",
+       "restore:gpu0-gpu3:@5parsecs"},
+      {"degrade:nope0:0.5:@1ms,down:gpu0-gpu3:@5ms",
+       "degrade:nope0:0.5:@1ms"},
+      {"flap:gpu0-gpu3:@oops:500usx2", "flap:gpu0-gpu3:@oops:500usx2"},
+      {"flap:gpu0-gpu3:@1ms:weirdx2", "flap:gpu0-gpu3:@1ms:weirdx2"},
+  };
+  for (const Case& c : cases) {
+    const auto plan = FaultPlan::Parse(c.spec, *topo_);
+    ASSERT_FALSE(plan.ok()) << c.spec;
+    const std::string msg = plan.status().ToString();
+    EXPECT_NE(msg.find(std::string("fault clause '") + c.clause + "'"),
+              std::string::npos)
+        << "error for [" << c.spec << "] does not name the clause: " << msg;
+  }
+}
+
 TEST_F(FaultPlanTest, ProgrammaticEventsKeepInsertionOrderOnTies) {
   FaultPlan plan;
   const int a = LinkId(*topo_, "gpu0-gpu1");

@@ -1,0 +1,316 @@
+// Tests for the adversarial scenario engine (DESIGN.md Sec 12): the
+// spec DSL (parse / serialize / validate), the invariant-checked runner
+// against the full committed corpus, and the property-based fuzzer's
+// mutation and shrinking machinery — including the acceptance bar that
+// a deliberately broken spec shrinks to a minimal repro.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "scenario/corpus.h"
+#include "scenario/fuzz.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace mgjoin::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DSL: parse, serialize, validate.
+
+TEST(ScenarioParseTest, DefaultsAndOverrides) {
+  const auto spec = ParseScenario("name = t\nkey_zipf = 1.5\ngpus=4\n"
+                                  "compression = off")
+                        .ValueOrDie();
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.topology, "dgx1");
+  EXPECT_EQ(spec.gpus, 4);
+  EXPECT_DOUBLE_EQ(spec.key_zipf, 1.5);
+  EXPECT_DOUBLE_EQ(spec.placement_zipf, 0.0);
+  EXPECT_FALSE(spec.compression);
+  EXPECT_EQ(spec.tuples_per_gpu, 8192u);
+  EXPECT_EQ(spec.expect_matches, -1);
+}
+
+TEST(ScenarioParseTest, SemicolonsAndCommentsAreStatements) {
+  const auto spec =
+      ParseScenario("# header\nname = t; gpus = 2  # trailing\n\n"
+                    "seed = 7")
+          .ValueOrDie();
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.gpus, 2);
+  EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(ScenarioParseTest, ErrorsNameTheLine) {
+  const auto unknown = ParseScenario("name = t\nbogus_key = 1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("line 2"), std::string::npos);
+  EXPECT_NE(unknown.status().ToString().find("bogus_key"),
+            std::string::npos);
+
+  const auto not_assign = ParseScenario("name = t\njust words");
+  ASSERT_FALSE(not_assign.ok());
+  EXPECT_NE(not_assign.status().ToString().find("line 2"),
+            std::string::npos);
+
+  const auto bad_num = ParseScenario("name = t\ngpus = many");
+  ASSERT_FALSE(bad_num.ok());
+  EXPECT_NE(bad_num.status().ToString().find("'many'"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, ToTextRoundTripsEveryCorpusEntry) {
+  for (const NamedScenario& named : Corpus()) {
+    const ScenarioSpec spec = LoadScenario(named.text).ValueOrDie();
+    const ScenarioSpec again = ParseScenario(spec.ToText()).ValueOrDie();
+    EXPECT_EQ(spec, again) << named.name;
+  }
+}
+
+TEST(ScenarioValidateTest, RejectsOutOfRangeAndUnknown) {
+  ScenarioSpec spec;
+  spec.name = "t";
+  EXPECT_TRUE(ValidateScenario(spec).ok());
+
+  spec.topology = "summit";
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+  spec.topology = "dgx1";
+
+  spec.gpus = 9;  // dgx1 has 8
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+  spec.gpus = 0;
+
+  spec.policy = "psychic";
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+  spec.policy = "adaptive";
+
+  spec.tuples_per_gpu = 0;
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+  spec.tuples_per_gpu = 8192;
+
+  spec.name = "has space";
+  EXPECT_FALSE(ValidateScenario(spec).ok());
+}
+
+TEST(ScenarioValidateTest, RejectsUnsurvivableFaultPlans) {
+  ScenarioSpec spec;
+  spec.name = "t";
+  spec.faults = "down:gpu0-gpu3:@1ms";  // never restored
+  const Status st = ValidateScenario(spec);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("unsurvivable"), std::string::npos);
+
+  spec.faults = "down:gpu0-gpu3:@1ms,restore:gpu0-gpu3:@2ms";
+  EXPECT_TRUE(ValidateScenario(spec).ok());
+
+  // Flaps always end restored, so they survive on their own.
+  spec.faults = "flap:nvlink2:@1ms:250usx3";
+  EXPECT_TRUE(ValidateScenario(spec).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: every committed scenario must run to a passing verdict.
+
+TEST(ScenarioCorpusTest, HasAtLeastTenUniquelyNamedEntries) {
+  std::set<std::string> names;
+  for (const NamedScenario& named : Corpus()) names.insert(named.name);
+  EXPECT_GE(names.size(), 10u);
+  EXPECT_EQ(names.size(), Corpus().size());
+}
+
+// When MGJ_SCENARIO_ARTIFACT_DIR is set (CI points it at the uploaded
+// trace directory), a failing corpus scenario leaves its spec and
+// Chrome trace behind for offline triage.
+void MaybeWriteArtifacts(const ScenarioSpec& spec,
+                         const ScenarioVerdict& v) {
+  if (v.passed) return;
+  const char* dir = std::getenv("MGJ_SCENARIO_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  for (const auto& [suffix, payload] :
+       {std::pair<std::string, const std::string&>{".scenario",
+                                                   spec.ToText()},
+        {".trace.json", v.trace_json}}) {
+    const std::string path = std::string(dir) + "/" + spec.name + suffix;
+    if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+      std::fwrite(payload.data(), 1, payload.size(), f);
+      std::fclose(f);
+    }
+  }
+}
+
+TEST(ScenarioCorpusTest, EveryEntryPassesUnderTheAuditor) {
+  for (const NamedScenario& named : Corpus()) {
+    const ScenarioSpec spec = LoadScenario(named.text).ValueOrDie();
+    EXPECT_EQ(spec.name, named.name);
+    const ScenarioVerdict v = RunScenario(spec);
+    MaybeWriteArtifacts(spec, v);
+    EXPECT_TRUE(v.passed) << named.name << "\n" << v.ToText();
+    EXPECT_EQ(v.matches, v.reference_matches) << named.name;
+    EXPECT_EQ(v.auditor_violations, 0u) << named.name;
+    EXPECT_GT(v.trace_events, 0u) << named.name;
+  }
+}
+
+TEST(ScenarioCorpusTest, FindScenarioResolvesNames) {
+  EXPECT_EQ(FindScenario("baseline-clean-dgx1").ValueOrDie().topology,
+            "dgx1");
+  EXPECT_FALSE(FindScenario("no-such-scenario").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Runner: verdicts, not aborts.
+
+TEST(ScenarioRunnerTest, WrongExpectMatchesFailsTheVerdict) {
+  ScenarioSpec spec;
+  spec.name = "wrong-expectation";
+  spec.tuples_per_gpu = 256;
+  spec.expect_matches = 1;  // actual is 256 * 8
+  const ScenarioVerdict v = RunScenario(spec);
+  EXPECT_FALSE(v.passed);
+  ASSERT_FALSE(v.failures.empty());
+  bool mentions_expect = false;
+  for (const std::string& f : v.failures) {
+    if (f.find("expect_matches") != std::string::npos) {
+      mentions_expect = true;
+    }
+  }
+  EXPECT_TRUE(mentions_expect) << v.ToText();
+}
+
+TEST(ScenarioRunnerTest, InvalidSpecBecomesFailedVerdict) {
+  ScenarioSpec spec;
+  spec.name = "t";
+  spec.faults = "down:gpu0-gpu3:@1ms";  // unsurvivable
+  const ScenarioVerdict v = RunScenario(spec);
+  EXPECT_FALSE(v.passed);
+  ASSERT_FALSE(v.failures.empty());
+  EXPECT_NE(v.failures[0].find("spec invalid"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, RerunsAreByteIdentical) {
+  const ScenarioSpec spec =
+      FindScenario("hot-key-zipf15-nvlink-flap-storm").ValueOrDie();
+  const ScenarioVerdict a = RunScenario(spec);
+  const ScenarioVerdict b = RunScenario(spec);
+  EXPECT_TRUE(a.passed);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.sim_total, b.sim_total);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzer: mutation validity, shrinking, end-to-end loop.
+
+TEST(ScenarioFuzzTest, MutantsAreAlwaysValid) {
+  const ScenarioSpec base =
+      FindScenario("baseline-clean-dgx1").ValueOrDie();
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const ScenarioSpec mutant = MutateSpec(base, &rng);
+    EXPECT_TRUE(ValidateScenario(mutant).ok()) << mutant.ToText();
+  }
+}
+
+TEST(ScenarioFuzzTest, MutationIsDeterministic) {
+  const ScenarioSpec base =
+      FindScenario("skew-cross-fault-down-restore").ValueOrDie();
+  Rng a(99), b(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(MutateSpec(base, &a), MutateSpec(base, &b));
+  }
+}
+
+// Shrinking against a synthetic predicate strips everything the
+// predicate does not depend on. No engine runs involved, so this
+// exercises the shrinker's candidate order and termination in isolation.
+TEST(ScenarioFuzzTest, ShrinksToThePredicateKernel) {
+  ScenarioSpec noisy;
+  noisy.name = "noisy";
+  noisy.key_zipf = 1.5;
+  noisy.placement_zipf = 1.0;
+  noisy.tuples_per_gpu = 16384;
+  noisy.policy = "centralized";
+  noisy.packet_kb = 256;
+  noisy.threads = 8;
+  noisy.seed = 1234;
+  noisy.virtual_scale = 512;
+  noisy.faults = "down:gpu0-gpu3:@1ms,restore:gpu0-gpu3:@2ms,"
+                 "degrade:qpi0:0.5:@0us";
+
+  int calls = 0;
+  const ScenarioSpec minimal =
+      ShrinkSpec(noisy, [&calls](const ScenarioSpec& s) {
+        ++calls;
+        return s.key_zipf > 0.0;
+      });
+
+  EXPECT_GT(minimal.key_zipf, 0.0);  // the kernel survives
+  EXPECT_TRUE(minimal.faults.empty());
+  EXPECT_DOUBLE_EQ(minimal.placement_zipf, 0.0);
+  EXPECT_EQ(minimal.tuples_per_gpu, 64u);
+  EXPECT_EQ(minimal.gpus, 1);
+  EXPECT_EQ(minimal.policy, "adaptive");
+  EXPECT_EQ(minimal.packet_kb, 2048u);
+  EXPECT_EQ(minimal.threads, 0);
+  EXPECT_EQ(minimal.seed, 42u);
+  EXPECT_DOUBLE_EQ(minimal.virtual_scale, 1.0);
+  EXPECT_GT(calls, 0);
+  // Termination really was by local minimum, not by luck: no single
+  // candidate edit of the result still satisfies the predicate.
+  EXPECT_EQ(ShrinkSpec(minimal,
+                       [](const ScenarioSpec& s) { return s.key_zipf > 0.0; }),
+            minimal);
+}
+
+// The acceptance bar: a deliberately broken spec — wrong expect_matches
+// buried under faults, skew and an oversized workload — shrinks via
+// real engine runs to a minimal repro that still fails.
+TEST(ScenarioFuzzTest, BrokenSpecShrinksToMinimalRepro) {
+  ScenarioSpec broken;
+  broken.name = "broken";
+  broken.tuples_per_gpu = 2048;
+  broken.placement_zipf = 0.5;
+  broken.virtual_scale = 64;
+  broken.faults = "down:gpu0-gpu3:@100us,restore:gpu0-gpu3:@300us";
+  broken.expect_matches = 12345;  // a lie: z=0 matches are structural
+
+  const auto still_fails = [](const ScenarioSpec& s) {
+    return !RunScenario(s).passed;
+  };
+  ASSERT_TRUE(still_fails(broken));
+
+  const ScenarioSpec minimal = ShrinkSpec(broken, still_fails);
+  EXPECT_TRUE(still_fails(minimal));  // a repro, still
+  // Everything irrelevant to the failure is gone...
+  EXPECT_TRUE(minimal.faults.empty());
+  EXPECT_DOUBLE_EQ(minimal.placement_zipf, 0.0);
+  EXPECT_EQ(minimal.tuples_per_gpu, 64u);
+  EXPECT_EQ(minimal.gpus, 1);
+  EXPECT_DOUBLE_EQ(minimal.virtual_scale, 1.0);
+  // ...but the broken expectation itself must survive shrinking,
+  // because removing it would make the spec pass.
+  EXPECT_EQ(minimal.expect_matches, 12345);
+  EXPECT_LT(SpecSizeVector(minimal), SpecSizeVector(broken));
+}
+
+TEST(ScenarioFuzzTest, FuzzLoopIsCleanAndDeterministic) {
+  FuzzOptions opts;
+  opts.seed = 7;
+  opts.iters = 5;
+  const FuzzResult a = RunFuzz(opts);
+  EXPECT_EQ(a.iterations, 5);
+  EXPECT_TRUE(a.ok()) << a.failures.size() << " fuzz failures";
+  const FuzzResult b = RunFuzz(opts);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.iterations, a.iterations);
+}
+
+}  // namespace
+}  // namespace mgjoin::scenario
