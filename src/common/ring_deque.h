@@ -1,0 +1,95 @@
+#ifndef MGJOIN_COMMON_RING_DEQUE_H_
+#define MGJOIN_COMMON_RING_DEQUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mgjoin {
+
+/// \brief Flat power-of-two ring buffer with O(1) push/pop at both ends.
+///
+/// A slab-friendly replacement for std::deque in hot queues: one
+/// contiguous allocation, no per-chunk pointers, capacity retained
+/// across drain/refill cycles. Intended for small trivially-copyable
+/// value types (popped slots are not destroyed until overwritten or the
+/// deque dies, exactly like a vector that shrinks).
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+  RingDeque(const RingDeque&) = default;
+  RingDeque& operator=(const RingDeque&) = default;
+  RingDeque(RingDeque&& o) noexcept
+      : buf_(std::move(o.buf_)), head_(o.head_), size_(o.size_) {
+    o.head_ = 0;
+    o.size_ = 0;
+  }
+  RingDeque& operator=(RingDeque&& o) noexcept {
+    if (this != &o) {
+      buf_ = std::move(o.buf_);
+      head_ = o.head_;
+      size_ = o.size_;
+      o.head_ = 0;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+  T& back() { return buf_[Wrap(head_ + size_ - 1)]; }
+  const T& back() const { return buf_[Wrap(head_ + size_ - 1)]; }
+
+  /// Logical indexing: [0] is the front.
+  T& operator[](std::size_t i) { return buf_[Wrap(head_ + i)]; }
+  const T& operator[](std::size_t i) const { return buf_[Wrap(head_ + i)]; }
+
+  void push_back(T v) {
+    Reserve(size_ + 1);
+    buf_[Wrap(head_ + size_)] = std::move(v);
+    ++size_;
+  }
+  void push_front(T v) {
+    Reserve(size_ + 1);
+    head_ = Wrap(head_ + buf_.size() - 1);
+    buf_[head_] = std::move(v);
+    ++size_;
+  }
+  void pop_front() {
+    head_ = Wrap(head_ + 1);
+    --size_;
+  }
+  void pop_back() { --size_; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t Wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+
+  void Reserve(std::size_t need) {
+    if (need <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    while (cap < need) cap *= 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[Wrap(head_ + i)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mgjoin
+
+#endif  // MGJOIN_COMMON_RING_DEQUE_H_

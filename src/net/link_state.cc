@@ -12,8 +12,13 @@ LinkStateTable::LinkStateTable(sim::Simulator* sim,
                                const topo::Topology* topo,
                                obs::ObsHooks hooks)
     : sim_(sim), topo_(topo), hooks_(hooks) {
-  dirs_.resize(static_cast<std::size_t>(topo->num_links()) * 2);
-  dir_tracks_.assign(dirs_.size(), -1);
+  const std::size_t dirs = static_cast<std::size_t>(topo->num_links()) * 2;
+  next_free_.assign(dirs, 0);
+  published_delay_.assign(dirs, 0);
+  publish_pending_.assign(dirs, 0);
+  busy_.assign(dirs, 0);
+  bytes_.assign(dirs, 0);
+  dir_tracks_.assign(dirs, -1);
   avail_.Reset(topo->num_links());
 }
 
@@ -75,12 +80,12 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
     double bw = links_eff_bw_(ld, bytes);
     if (ch.staged) bw *= topo::kStagingEfficiency;
     const sim::SimTime d = sim::TransferTime(bytes, bw);
-    DirState& st = dirs_[Index(ld)];
-    const sim::SimTime leg_start = std::max(now, st.next_free);
+    const std::size_t di = Index(ld);
+    const sim::SimTime leg_start = std::max(now, next_free_[di]);
     const sim::SimTime leg_end = leg_start + d;
-    st.next_free = leg_end;
-    st.busy += d;
-    st.bytes += bytes;
+    next_free_[di] = leg_end;
+    busy_[di] += d;
+    bytes_[di] += bytes;
     RecordLeg(ld, leg_start, leg_end, bytes, leg_start - now);
     MaybePublish(ld);
     if (i == 0) {
@@ -177,21 +182,21 @@ std::string LinkStateTable::HealthReport() const {
 }
 
 sim::SimTime LinkStateTable::TrueQueueDelay(topo::LinkDir ld) const {
-  const DirState& st = dirs_[Index(ld)];
+  const sim::SimTime free_at = next_free_[Index(ld)];
   const sim::SimTime now = sim_->Now();
-  return st.next_free > now ? st.next_free - now : 0;
+  return free_at > now ? free_at - now : 0;
 }
 
 sim::SimTime LinkStateTable::PublishedQueueDelay(topo::LinkDir ld) const {
-  return dirs_[Index(ld)].published_delay;
+  return published_delay_[Index(ld)];
 }
 
 sim::SimTime LinkStateTable::BusyTime(topo::LinkDir ld) const {
-  return dirs_[Index(ld)].busy;
+  return busy_[Index(ld)];
 }
 
 std::uint64_t LinkStateTable::BytesMoved(topo::LinkDir ld) const {
-  return dirs_[Index(ld)].bytes;
+  return bytes_[Index(ld)];
 }
 
 std::string LinkStateTable::UtilizationReport(sim::SimTime window) const {
@@ -200,17 +205,17 @@ std::string LinkStateTable::UtilizationReport(sim::SimTime window) const {
   char line[160];
   for (const topo::Link& l : topo_->links()) {
     for (int dir = 0; dir < 2; ++dir) {
-      const DirState& st = dirs_[Index({l.id, dir})];
-      if (st.bytes == 0) continue;
+      const std::size_t di = Index({l.id, dir});
+      if (bytes_[di] == 0) continue;
       const double util =
           window == 0 ? 0.0
-                      : 100.0 * static_cast<double>(st.busy) /
+                      : 100.0 * static_cast<double>(busy_[di]) /
                             static_cast<double>(window);
       std::snprintf(line, sizeof(line),
                     "%-24s %-6s %-12llu %-8.2f %-6.1f\n",
                     l.ToString().c_str(), dir == 0 ? "a->b" : "b->a",
-                    static_cast<unsigned long long>(st.bytes),
-                    sim::ToMillis(st.busy), util);
+                    static_cast<unsigned long long>(bytes_[di]),
+                    sim::ToMillis(busy_[di]), util);
       out += line;
     }
   }
@@ -218,19 +223,19 @@ std::string LinkStateTable::UtilizationReport(sim::SimTime window) const {
 }
 
 void LinkStateTable::MaybePublish(topo::LinkDir ld) {
-  DirState& st = dirs_[Index(ld)];
-  if (st.publish_pending) return;
+  const std::size_t di = Index(ld);
+  if (publish_pending_[di]) return;
   const sim::SimTime true_delay = TrueQueueDelay(ld);
-  const sim::SimTime pub = st.published_delay;
+  const sim::SimTime pub = published_delay_[di];
   const sim::SimTime diff = true_delay > pub ? true_delay - pub
                                              : pub - true_delay;
   if (diff <= std::max<sim::SimTime>(kPublishFloor, pub / 8)) return;
-  st.publish_pending = true;
+  publish_pending_[di] = 1;
   ++broadcasts_;
   sim_->Schedule(kPropagationDelay, [this, ld] {
-    DirState& s = dirs_[Index(ld)];
-    s.published_delay = TrueQueueDelay(ld);
-    s.publish_pending = false;
+    const std::size_t i = Index(ld);
+    published_delay_[i] = TrueQueueDelay(ld);
+    publish_pending_[i] = 0;
     // A further change may have happened while this broadcast was in
     // flight; chase it so the view converges.
     MaybePublish(ld);

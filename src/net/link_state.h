@@ -116,14 +116,6 @@ class LinkStateTable {
   sim::SimTime Now() const;
 
  private:
-  struct DirState {
-    sim::SimTime next_free = 0;
-    sim::SimTime published_delay = 0;
-    sim::SimTime busy = 0;
-    std::uint64_t bytes = 0;
-    bool publish_pending = false;
-  };
-
   std::size_t Index(topo::LinkDir ld) const {
     return static_cast<std::size_t>(ld.link_id) * 2 + ld.dir;
   }
@@ -142,7 +134,17 @@ class LinkStateTable {
   const topo::Topology* topo_;
   obs::ObsHooks hooks_;
   std::vector<int> dir_tracks_;  // lazily assigned trace track ids
-  std::vector<DirState> dirs_;
+  // Per-direction state in SoA layout, indexed by Index(ld). The
+  // adaptive policy scans queue delays across every candidate link of
+  // every candidate route per decision, so the hot fields (next_free_,
+  // published_delay_) pack eight entries per cache line instead of
+  // dragging the accounting fields along; busy_/bytes_ are cold — read
+  // only by reports.
+  std::vector<sim::SimTime> next_free_;
+  std::vector<sim::SimTime> published_delay_;
+  std::vector<char> publish_pending_;
+  std::vector<sim::SimTime> busy_;
+  std::vector<std::uint64_t> bytes_;
   std::uint64_t broadcasts_ = 0;
   topo::LinkAvailabilityView avail_;
   std::function<void(const FaultEvent&)> fault_cb_;

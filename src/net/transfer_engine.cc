@@ -33,6 +33,7 @@ TransferEngine::TransferEngine(sim::Simulator* sim,
   policy_->SetParticipants(std::move(mask));
   gpu_states_.resize(gpus_.size());
   for (GpuState& gs : gpu_states_) {
+    gs.queues.resize(2 * gpus_.size());
     gs.engine_busy.assign(options_.dma_engines, 0);
   }
   rings_.resize(gpus_.size() * gpus_.size());
@@ -94,20 +95,17 @@ void TransferEngine::RegisterAuditorChecks() {
   });
   a->AddCheck("payload_conservation", [this]() -> std::string {
     std::uint64_t registered = 0;
-    for (const auto& [id, bytes] : flow_bytes_) registered += bytes;
+    for (const Flow& f : flows_) registered += f.bytes;
     if (stats_.payload_bytes + pending_payload_ != registered) {
       return "delivered " + std::to_string(stats_.payload_bytes) +
              " + pending " + std::to_string(pending_payload_) +
              " != registered " + std::to_string(registered);
     }
-    for (const auto& [id, bytes] : delivered_per_flow_) {
-      const auto it = flow_bytes_.find(id);
-      if (it == flow_bytes_.end()) {
-        return "delivery for unknown flow " + std::to_string(id);
-      }
-      if (bytes > it->second) {
-        return "flow " + std::to_string(id) + " overdelivered: " +
-               std::to_string(bytes) + " > " + std::to_string(it->second);
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      if (flow_delivered_[i] > flows_[i].bytes) {
+        return "flow " + std::to_string(flows_[i].id) + " overdelivered: " +
+               std::to_string(flow_delivered_[i]) + " > " +
+               std::to_string(flows_[i].bytes);
       }
     }
     return "";
@@ -148,9 +146,12 @@ void TransferEngine::AddFlow(const Flow& flow) {
   MGJ_CHECK(dense_[flow.src_gpu] >= 0 && dense_[flow.dst_gpu] >= 0)
       << "flow endpoints must participate";
   if (flow.bytes == 0) return;
-  MGJ_CHECK(flow_bytes_.emplace(flow.id, flow.bytes).second)
+  MGJ_CHECK(flow_index_
+                .emplace(flow.id, static_cast<std::uint32_t>(flows_.size()))
+                .second)
       << "duplicate flow id " << flow.id;
   flows_.push_back(flow);
+  flow_delivered_.push_back(0);
   pending_payload_ += flow.bytes;
 }
 
@@ -162,13 +163,17 @@ void TransferEngine::Start() {
   stats_.first_available =
       flows_.empty() ? sim_->Now()
                      : std::numeric_limits<sim::SimTime>::max();
-  for (const Flow& f : flows_) {
+  // Closures capture the dense flow index, not the Flow: flows_ is
+  // frozen at Start() so indices stay valid, and the small capture fits
+  // EventFn's inline buffer.
+  for (std::uint32_t idx = 0; idx < flows_.size(); ++idx) {
+    const Flow& f = flows_[idx];
     stats_.first_available = std::min(stats_.first_available, f.available_at);
     const std::uint64_t num_packets =
         CeilDiv(f.bytes, options_.packet_bytes);
     if (f.generation_rate <= 0.0) {
-      sim_->ScheduleAt(f.available_at, [this, f, num_packets] {
-        InjectPackets(f, 0, num_packets);
+      sim_->ScheduleAt(f.available_at, [this, idx, num_packets] {
+        InjectPackets(idx, 0, num_packets);
       });
       continue;
     }
@@ -183,18 +188,19 @@ void TransferEngine::Start() {
       const sim::SimTime when =
           f.available_at +
           sim::FromSeconds(produced_bytes / f.generation_rate);
-      sim_->ScheduleAt(when, [this, f, first, count] {
-        InjectPackets(f, first, count);
+      sim_->ScheduleAt(when, [this, idx, first, count] {
+        InjectPackets(idx, first, count);
       });
     }
   }
 }
 
-void TransferEngine::InjectPackets(const Flow& flow,
+void TransferEngine::InjectPackets(std::uint32_t flow_idx,
                                    std::uint64_t first_packet,
                                    std::uint64_t num_packets) {
+  const Flow& flow = flows_[flow_idx];
   GpuState& gs = gpu_state(flow.src_gpu);
-  auto& queue = gs.queues[QueueKey{false, flow.dst_gpu}];
+  RingDeque<QueuedPacket>& queue = queue_at(gs, false, flow.dst_gpu);
   for (std::uint64_t i = 0; i < num_packets; ++i) {
     const std::uint64_t offset =
         (first_packet + i) * options_.packet_bytes;
@@ -203,6 +209,7 @@ void TransferEngine::InjectPackets(const Flow& flow,
     Packet p;
     p.id = next_packet_id_++;
     p.flow_id = flow.id;
+    p.flow_idx = flow_idx;
     p.payload_bytes = payload;
     p.hop = 0;
     // Route assigned when the batch is formed.
@@ -216,25 +223,33 @@ void TransferEngine::InjectPackets(const Flow& flow,
 
 void TransferEngine::TryStartSends(int gpu) {
   GpuState& gs = gpu_state(gpu);
+  const int g = static_cast<int>(gpus_.size());
   while (gs.busy_engines < options_.dma_engines) {
     // Deterministic longest-queue-first service order (the weighted
     // round-robin of Sec 4.1 weights queues by their backlog share; the
     // longest queue is the one WRR would serve most).
-    std::vector<const QueueKey*> order;
-    for (const auto& [key, q] : gs.queues) {
-      if (!q.empty()) order.push_back(&key);
+    service_order_.clear();
+    for (int qi = 0; qi < 2 * g; ++qi) {
+      if (!gs.queues[qi].empty()) service_order_.push_back(qi);
     }
-    if (order.empty()) return;
-    std::sort(order.begin(), order.end(),
-              [&](const QueueKey* a, const QueueKey* b) {
-                const auto sa = gs.queues[*a].size();
-                const auto sb = gs.queues[*b].size();
+    if (service_order_.empty()) return;
+    std::sort(service_order_.begin(), service_order_.end(),
+              [&](int a, int b) {
+                const auto sa = gs.queues[a].size();
+                const auto sb = gs.queues[b].size();
                 if (sa != sb) return sa > sb;
-                return *a < *b;
+                // Tie-break replicates the old map key order: source
+                // queues before transit, then peer gpu id ascending
+                // (the slab's dense order follows gpus_, which need
+                // not be id-sorted).
+                const bool ta = a >= g;
+                const bool tb = b >= g;
+                if (ta != tb) return tb;
+                return gpus_[a % g] < gpus_[b % g];
               });
     bool any = false;
-    for (const QueueKey* key : order) {
-      if (TryStartBatch(gpu, *key)) {
+    for (int qi : service_order_) {
+      if (TryStartBatch(gpu, QueueKey{qi >= g, gpus_[qi % g]})) {
         any = true;
         break;
       }
@@ -245,38 +260,39 @@ void TransferEngine::TryStartSends(int gpu) {
 
 bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
   GpuState& gs = gpu_state(gpu);
-  auto& queue = gs.queues[key];
+  RingDeque<QueuedPacket>& queue = queue_at(gs, key.transit, key.peer);
   if (queue.empty()) return false;
 
-  topo::Route route;
+  PacketRoute route;
   if (key.transit) {
     route = queue.front().packet.route;
   } else {
-    route = policy_->ChooseRoute(
+    const topo::Route chosen = policy_->ChooseRoute(
         gpu, key.peer, options_.packet_bytes,
         static_cast<int>(
             std::min<std::size_t>(queue.size(),
                                   static_cast<std::size_t>(
                                       options_.batch_packets))),
         links_);
-    MGJ_CHECK(route.gpus.front() == gpu && route.gpus.back() == key.peer)
-        << "policy returned foreign route " << route.ToString();
-    for (int g : route.gpus) {
-      MGJ_CHECK(dense_[g] >= 0)
-          << "policy routed through non-participant GPU " << g;
+    MGJ_CHECK(chosen.gpus.front() == gpu && chosen.gpus.back() == key.peer)
+        << "policy returned foreign route " << chosen.ToString();
+    for (int hop : chosen.gpus) {
+      MGJ_CHECK(dense_[hop] >= 0)
+          << "policy routed through non-participant GPU " << hop;
     }
     // Fault gate: the policy returns an unusable route only when faults
     // left no admissible alternative (e.g. the fabric is partitioned
     // until a restore). Hold the queue; a fault event or the retry poll
     // revisits it.
-    if (!links_.RouteAvailable(route)) {
+    if (!links_.RouteAvailable(chosen)) {
       ScheduleFaultRetry(gpu);
       return false;
     }
+    route = chosen;
   }
 
   const int hop_index = key.transit ? queue.front().packet.hop : 0;
-  const int first_hop = route.gpus[hop_index + 1];
+  const int first_hop = route[hop_index + 1];
   if (key.transit &&
       !links_.ChannelAvailable(topo_->channel(gpu, first_hop))) {
     // The fixed next hop is down. The fault sweep re-paths queued
@@ -293,8 +309,7 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
     }
     return false;
   }
-  const bool last_hop =
-      hop_index + 2 == static_cast<int>(route.gpus.size());
+  const bool last_hop = hop_index + 2 == route.size();
   RingLink& rl = ring(first_hop, gpu);
   if (rl.FreeViewFor(last_hop) < 1) {
     StartRingSync(first_hop, gpu);
@@ -333,7 +348,7 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
 }
 
 void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
-                               const topo::Route& route) {
+                               const PacketRoute& route) {
   GpuState& gs = gpu_state(gpu);
   ++gs.busy_engines;
   ++stats_.batches;
@@ -360,7 +375,7 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
   }
 
   const int hop_index = batch.front().packet.hop;
-  const int next = route.gpus[hop_index + 1];
+  const int next = route[hop_index + 1];
   sim_->ScheduleAt(start_at, [this, gpu, next, slot,
                               batch = std::move(batch)]() mutable {
     const topo::Channel& ch = topo_->channel(gpu, next);
@@ -380,12 +395,12 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
           // Source packet: the route is re-chosen at the next batch
           // formation.
           const int dst = qp.packet.final_dst();
-          qp.packet.route = topo::Route{};
+          qp.packet.route.Clear();
           qp.packet.hop = 0;
-          gs.queues[QueueKey{false, dst}].push_front(std::move(qp));
+          queue_at(gs, false, dst).push_front(std::move(qp));
         } else {
-          gs.queues[QueueKey{true, qp.packet.next_gpu()}].push_front(
-              std::move(qp));
+          queue_at(gs, true, qp.packet.next_gpu())
+              .push_front(std::move(qp));
         }
       }
       --gs.busy_engines;
@@ -413,9 +428,11 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
           FreeRingSlot(gpu, upstream);
         });
       }
-      Packet delivered = qp.packet;
-      sim_->ScheduleAt(res.deliver, [this, delivered, gpu]() mutable {
-        HandleArrival(std::move(delivered), gpu);
+      // The packet rides the wire in the in-flight slab; the delivery
+      // event carries only its 4-byte handle.
+      const std::uint32_t pidx = InflightAlloc(qp.packet);
+      sim_->ScheduleAt(res.deliver, [this, pidx, gpu] {
+        HandleArrival(InflightTake(pidx), gpu);
       });
     }
     if (obs_.trace != nullptr) {
@@ -437,12 +454,12 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
 void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
   obs_.auditor->ObserveTime(sim_->Now());
   obs_.auditor->Poke();
-  const int here = packet.route.gpus[packet.hop + 1];
+  const int here = packet.route[packet.hop + 1];
   if (here == packet.final_dst()) {
     ++stats_.packets;
     ++packet.hop;  // count the completed hop
     stats_.payload_bytes += packet.payload_bytes;
-    delivered_per_flow_[packet.flow_id] += packet.payload_bytes;
+    flow_delivered_[packet.flow_idx] += packet.payload_bytes;
     MetricAdd("net.packets", 1);
     MetricAdd("net.payload_bytes", packet.payload_bytes);
     MGJ_CHECK(pending_payload_ >= packet.payload_bytes);
@@ -474,8 +491,8 @@ void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
       MetricAdd("net.fault_reroutes", 1);
     }
   }
-  auto& queue = gs.queues[QueueKey{true, packet.next_gpu()}];
-  queue.push_back(QueuedPacket{std::move(packet), from_gpu});
+  RingDeque<QueuedPacket>& queue = queue_at(gs, true, packet.next_gpu());
+  queue.push_back(QueuedPacket{packet, from_gpu});
   if (obs_.metrics != nullptr) {
     obs_.metrics->gauge("net.transit_queue_depth").Set(queue.size());
   }
@@ -523,7 +540,7 @@ void TransferEngine::StartRingSync(int receiver, int upstream) {
     sim_->Schedule(options_.poll_interval, [this, receiver, upstream] {
       // Keep polling while the sender still has queued traffic.
       GpuState& gs = gpu_state(upstream);
-      for (const auto& [key, q] : gs.queues) {
+      for (const RingDeque<QueuedPacket>& q : gs.queues) {
         if (!q.empty()) {
           StartRingSync(receiver, upstream);
           TryStartSends(upstream);
@@ -537,24 +554,32 @@ void TransferEngine::StartRingSync(int receiver, int upstream) {
 std::string TransferEngine::DebugDump() const {
   std::string out = "TransferEngine pending=" +
                     std::to_string(pending_payload_) + "\n";
+  // Report queues in (src-before-transit, peer gpu id ascending) order —
+  // the historical map order — independent of the slab's dense layout.
+  std::vector<int> ids = gpus_;
+  std::sort(ids.begin(), ids.end());
   for (std::size_t i = 0; i < gpus_.size(); ++i) {
     const GpuState& gs = gpu_states_[i];
     bool any = gs.busy_engines > 0;
-    for (const auto& [key, q] : gs.queues) any = any || !q.empty();
+    for (const RingDeque<QueuedPacket>& q : gs.queues) any = any || !q.empty();
     if (!any) continue;
     out += "GPU " + std::to_string(gpus_[i]) +
            " engines=" + std::to_string(gs.busy_engines) + "\n";
-    for (const auto& [key, q] : gs.queues) {
-      if (q.empty()) continue;
-      out += "  queue{" + std::string(key.transit ? "transit" : "src") +
-             "," + std::to_string(key.peer) + "} n=" +
-             std::to_string(q.size());
-      if (key.transit) {
-        out += " head_route=" + q.front().packet.route.ToString() +
-               " hop=" + std::to_string(q.front().packet.hop) +
-               " slot_up=" + std::to_string(q.front().slot_upstream);
+    for (int transit = 0; transit < 2; ++transit) {
+      for (int peer : ids) {
+        const RingDeque<QueuedPacket>& q =
+            gs.queues[(transit ? gpus_.size() : 0) + dense_[peer]];
+        if (q.empty()) continue;
+        out += "  queue{" + std::string(transit ? "transit" : "src") +
+               "," + std::to_string(peer) + "} n=" +
+               std::to_string(q.size());
+        if (transit) {
+          out += " head_route=" + q.front().packet.route.ToString() +
+                 " hop=" + std::to_string(q.front().packet.hop) +
+                 " slot_up=" + std::to_string(q.front().slot_upstream);
+        }
+        out += "\n";
       }
-      out += "\n";
     }
     for (std::size_t j = 0; j < gpus_.size(); ++j) {
       const RingLink& rl = rings_[i * gpus_.size() + j];
@@ -578,9 +603,9 @@ std::string TransferEngine::DebugDump() const {
 }
 
 bool TransferEngine::RemainingRouteAvailable(const Packet& p) const {
-  for (int i = p.hop; i + 1 < static_cast<int>(p.route.gpus.size()); ++i) {
+  for (int i = p.hop; i + 1 < p.route.size(); ++i) {
     if (!links_.ChannelAvailable(
-            topo_->channel(p.route.gpus[i], p.route.gpus[i + 1]))) {
+            topo_->channel(p.route[i], p.route[i + 1]))) {
       return false;
     }
   }
@@ -589,17 +614,17 @@ bool TransferEngine::RemainingRouteAvailable(const Packet& p) const {
 
 std::uint64_t TransferEngine::RepairTransitQueue(int gpu, int peer) {
   GpuState& gs = gpu_state(gpu);
-  auto it = gs.queues.find(QueueKey{true, peer});
-  if (it == gs.queues.end() || it->second.empty()) return 0;
+  RingDeque<QueuedPacket>& q = queue_at(gs, true, peer);
+  if (q.empty()) return 0;
   // Drain the queue first: repairs may push into arbitrary queues of
   // this GPU, including this one.
-  std::deque<QueuedPacket> pending = std::move(it->second);
-  it->second.clear();
-  std::deque<QueuedPacket> keep;
+  RingDeque<QueuedPacket> pending = std::move(q);
+  RingDeque<QueuedPacket> keep;
   std::uint64_t moved = 0;
-  for (QueuedPacket& qp : pending) {
+  for (std::size_t n = 0; n < pending.size(); ++n) {
+    QueuedPacket& qp = pending[n];
     if (RemainingRouteAvailable(qp.packet)) {
-      keep.push_back(std::move(qp));
+      keep.push_back(qp);
       continue;
     }
     const int dst = qp.packet.final_dst();
@@ -607,7 +632,7 @@ std::uint64_t TransferEngine::RepairTransitQueue(int gpu, int peer) {
         policy_->ChooseRoute(gpu, dst, options_.packet_bytes, 1, links_);
     if (!links_.RouteAvailable(alt)) {
       // No surviving route right now; hold the packet for a restore.
-      keep.push_back(std::move(qp));
+      keep.push_back(qp);
       continue;
     }
     qp.packet.route = alt;
@@ -616,12 +641,12 @@ std::uint64_t TransferEngine::RepairTransitQueue(int gpu, int peer) {
     if (alt.gpus[1] == peer) {
       // Only a later hop was dead; the packet stays behind this next
       // hop on its new route.
-      keep.push_back(std::move(qp));
+      keep.push_back(qp);
     } else {
-      gs.queues[QueueKey{true, alt.gpus[1]}].push_back(std::move(qp));
+      queue_at(gs, true, alt.gpus[1]).push_back(qp);
     }
   }
-  it->second = std::move(keep);
+  q = std::move(keep);
   if (moved > 0) {
     stats_.fault_reroutes += moved;
     MetricAdd("net.fault_reroutes", moved);
@@ -636,12 +661,16 @@ std::uint64_t TransferEngine::RepairTransitQueue(int gpu, int peer) {
 }
 
 void TransferEngine::RepairStrandedTransit() {
-  for (std::size_t i = 0; i < gpus_.size(); ++i) {
-    // Snapshot the keys: RepairTransitQueue inserts new queues.
+  const std::size_t g = gpus_.size();
+  for (std::size_t i = 0; i < g; ++i) {
+    // Snapshot the non-empty transit peers in gpu-id-ascending order
+    // (the historical map order): RepairTransitQueue moves packets
+    // between queues while we iterate.
     std::vector<int> peers;
-    for (const auto& [key, q] : gpu_states_[i].queues) {
-      if (key.transit && !q.empty()) peers.push_back(key.peer);
+    for (std::size_t j = 0; j < g; ++j) {
+      if (!gpu_states_[i].queues[g + j].empty()) peers.push_back(gpus_[j]);
     }
+    std::sort(peers.begin(), peers.end());
     for (int peer : peers) RepairTransitQueue(gpus_[i], peer);
   }
 }
@@ -679,14 +708,16 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
   // destination ring always drains because final packets unpack
   // immediately). Never triggers in normal operation; see DESIGN.md.
   GpuState& gs = gpu_state(sender);
-  auto it = gs.queues.find(QueueKey{true, receiver});
-  if (it == gs.queues.end()) return;
-  std::deque<QueuedPacket> keep;
+  RingDeque<QueuedPacket>& q = queue_at(gs, true, receiver);
+  if (q.empty()) return;
+  RingDeque<QueuedPacket> pending = std::move(q);
+  RingDeque<QueuedPacket> keep;
   std::uint64_t moved = 0;
-  for (QueuedPacket& qp : it->second) {
+  for (std::size_t n = 0; n < pending.size(); ++n) {
+    QueuedPacket& qp = pending[n];
     const int dst = qp.packet.final_dst();
     if (dst == receiver) {
-      keep.push_back(std::move(qp));
+      keep.push_back(qp);
       continue;
     }
     topo::Route escape{{sender, dst}};
@@ -698,7 +729,7 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
       escape =
           policy_->ChooseRoute(sender, dst, options_.packet_bytes, 1, links_);
       if (!links_.RouteAvailable(escape) || escape.gpus[1] == receiver) {
-        keep.push_back(std::move(qp));
+        keep.push_back(qp);
         continue;
       }
     }
@@ -706,9 +737,9 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
     ++moved;
     qp.packet.route = escape;
     qp.packet.hop = 0;
-    gs.queues[QueueKey{true, escape.gpus[1]}].push_back(std::move(qp));
+    queue_at(gs, true, escape.gpus[1]).push_back(qp);
   }
-  it->second = std::move(keep);
+  q = std::move(keep);
   if (moved > 0) {
     MetricAdd("net.escapes", moved);
     if (obs_.trace != nullptr) {

@@ -2,12 +2,12 @@
 #define MGJOIN_NET_TRANSFER_ENGINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "common/ring_deque.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "net/link_state.h"
@@ -160,9 +160,13 @@ class TransferEngine {
                           std::uint64_t extra_claims);
 
  private:
-  // Key of a sender-side outgoing queue: transit queues are per next-hop
-  // GPU (route already fixed); source queues are per final destination
-  // (route chosen when a batch is formed).
+  // Logical key of a sender-side outgoing queue: transit queues are per
+  // next-hop GPU (route already fixed); source queues are per final
+  // destination (route chosen when a batch is formed). Queues are
+  // stored as a flat per-GPU slab indexed [transit * G + dense peer];
+  // the key survives as the deterministic service-order tie-break
+  // ((transit, peer-gpu-id) ascending — the old std::map iteration
+  // order).
   struct QueueKey {
     bool transit = false;
     int peer = -1;
@@ -196,7 +200,9 @@ class TransferEngine {
   };
 
   struct GpuState {
-    std::map<QueueKey, std::deque<QueuedPacket>> queues;
+    /// Flat queue slab: [0, G) are source queues by dense final
+    /// destination, [G, 2G) transit queues by dense next hop.
+    std::vector<RingDeque<QueuedPacket>> queues;
     int busy_engines = 0;
     /// Which DMA engines are mid-batch; slots give each engine a stable
     /// identity so its busy spans land on one trace track.
@@ -207,18 +213,38 @@ class TransferEngine {
   RingLink& ring(int receiver, int upstream) {
     return rings_[dense_[receiver] * gpus_.size() + dense_[upstream]];
   }
+  RingDeque<QueuedPacket>& queue_at(GpuState& gs, bool transit, int peer) {
+    return gs.queues[(transit ? gpus_.size() : 0) + dense_[peer]];
+  }
 
   void RegisterAuditorChecks();
   void MetricAdd(const char* name, std::uint64_t n);
   int DmaTrack(int gpu, int slot);
-  void InjectPackets(const Flow& flow, std::uint64_t first_packet,
+  void InjectPackets(std::uint32_t flow_idx, std::uint64_t first_packet,
                      std::uint64_t num_packets);
   void TryStartSends(int gpu);
   // Returns true if a batch was started from queue `key` at `gpu`.
   bool TryStartBatch(int gpu, const QueueKey& key);
   void SendBatch(int gpu, std::vector<QueuedPacket> batch,
-                 const topo::Route& route);
+                 const PacketRoute& route);
   void HandleArrival(Packet packet, int slot_upstream);
+  // Slab of packets on the wire: delivery events carry a 4-byte handle
+  // instead of the packet itself, keeping the closure inside EventFn's
+  // inline buffer. Freed handles are recycled LIFO.
+  std::uint32_t InflightAlloc(const Packet& p) {
+    if (!inflight_free_.empty()) {
+      const std::uint32_t idx = inflight_free_.back();
+      inflight_free_.pop_back();
+      inflight_[idx] = p;
+      return idx;
+    }
+    inflight_.push_back(p);
+    return static_cast<std::uint32_t>(inflight_.size() - 1);
+  }
+  Packet InflightTake(std::uint32_t idx) {
+    inflight_free_.push_back(idx);
+    return inflight_[idx];
+  }
   void FreeRingSlot(int receiver, int upstream);
   void StartRingSync(int receiver, int upstream);
   void EscapeBlockedPackets(int sender, int receiver);
@@ -239,15 +265,22 @@ class TransferEngine {
   std::unique_ptr<obs::InvariantAuditor> owned_auditor_;
   LinkStateTable links_;
 
+  // Flow bookkeeping is slab-style: `flows_` is the registry, parallel
+  // arrays are indexed by the dense flow index that packets carry
+  // (Packet::flow_idx). The id->index map exists only for duplicate
+  // detection at registration time — no hot path touches it.
   std::vector<Flow> flows_;
+  std::vector<std::uint64_t> flow_delivered_;  // parallel to flows_
+  std::map<std::uint64_t, std::uint32_t> flow_index_;
+  std::vector<Packet> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   std::vector<GpuState> gpu_states_;
   std::vector<RingLink> rings_;
   std::vector<int> dma_tracks_;  // gpu-dense * dma_engines + slot
+  std::vector<int> service_order_;  // TryStartSends scratch (queue idxs)
   int ring_track_ = -1;
   int fault_track_ = -1;
   std::vector<char> fault_retry_pending_;  // per dense GPU index
-  std::map<std::uint64_t, std::uint64_t> flow_bytes_;
-  std::map<std::uint64_t, std::uint64_t> delivered_per_flow_;
   DeliverCallback deliver_cb_;
 
   bool started_ = false;

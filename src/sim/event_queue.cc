@@ -1,0 +1,138 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace mgjoin::sim {
+
+void CalendarQueue::PushSlow(SimTime when, std::uint64_t seq,
+                             EventFn&& fn) {
+  // Push() already handled the incoming and L1 cases; the event lies
+  // beyond the L1 window.
+  if (when >= l2_start_ &&
+      ((when - l2_start_) >> kL2Shift) < static_cast<SimTime>(kNumBuckets)) {
+    const int b = static_cast<int>((when - l2_start_) >> kL2Shift);
+    l2_[b].emplace_back(when, seq, std::move(fn));
+    l2_occ_.Set(b);
+    return;
+  }
+  overflow_.emplace_back(when, seq, std::move(fn));
+}
+
+SimTime CalendarQueue::PeekWhenSlow() {
+  for (;;) {
+    if (cursor_ < sorted_.size()) {
+      const SimTime t = sorted_[cursor_].when;
+      if (!incoming_.empty() && incoming_.front().when < t) {
+        return incoming_.front().when;
+      }
+      return t;
+    }
+    // Invariant 3: the incoming heap precedes every unloaded bucket.
+    if (!incoming_.empty()) return incoming_.front().when;
+    LoadNextBucket();  // size_ > 0, so this must produce a run
+  }
+}
+
+Event CalendarQueue::PopNextSlow() {
+  for (;;) {
+    if (cursor_ < sorted_.size()) {
+      if (!incoming_.empty() &&
+          EventBefore(incoming_.front(), sorted_[cursor_])) {
+        return PopIncoming();
+      }
+      --size_;
+      Event ev = std::move(sorted_[cursor_]);
+      if (++cursor_ == sorted_.size()) {
+        sorted_.clear();
+        cursor_ = 0;
+      }
+      return ev;
+    }
+    if (!incoming_.empty()) return PopIncoming();
+    LoadNextBucket();  // size_ > 0, so this must produce a run
+  }
+}
+
+Event CalendarQueue::PopIncoming() {
+  --size_;
+  std::pop_heap(incoming_.begin(), incoming_.end(), EventAfter{});
+  Event ev = std::move(incoming_.back());
+  incoming_.pop_back();
+  return ev;
+}
+
+bool CalendarQueue::LoadNextBucket() {
+  int b = l1_occ_.FindFirstFrom(l1_cursor_);
+  if (b < 0) {
+    if (!RefillL1()) return false;
+    b = l1_occ_.FindFirstFrom(l1_cursor_);
+    if (b < 0) return false;  // unreachable: RefillL1 set a bit
+  }
+  l1_occ_.ClearBit(b);
+  l1_cursor_ = b + 1;
+  // Swap rather than move so the drained bucket inherits the old run's
+  // capacity — steady state does no vector reallocation.
+  sorted_.swap(l1_[b]);
+  cursor_ = 0;
+  // Buckets filled in monotone (when, seq) push order — the common case
+  // (same-timestamp fan-out, in-order schedules) — skip the sort.
+  const auto before = [](const Event& x, const Event& y) {
+    return EventBefore(x, y);
+  };
+  if (!std::is_sorted(sorted_.begin(), sorted_.end(), before)) {
+    std::sort(sorted_.begin(), sorted_.end(), before);
+  }
+  const SimTime bucket_start =
+      l1_start_ + (static_cast<SimTime>(b) << kL1Shift);
+  const SimTime width = SimTime{1} << kL1Shift;
+  sorted_end_ = bucket_start > kSimTimeMax - width ? kSimTimeMax
+                                                   : bucket_start + width;
+  return true;
+}
+
+bool CalendarQueue::RefillL1() {
+  int b = l2_occ_.FindFirstFrom(l2_cursor_);
+  if (b < 0) {
+    if (overflow_.empty()) return false;
+    RebaseFromOverflow();
+    b = l2_occ_.FindFirstFrom(l2_cursor_);
+    if (b < 0) return false;  // unreachable: rebase binned the minimum
+  }
+  l2_occ_.ClearBit(b);
+  l2_cursor_ = b + 1;
+  l1_start_ = l2_start_ + (static_cast<SimTime>(b) << kL2Shift);
+  l1_cursor_ = 0;
+  std::vector<Event>& src = l2_[b];
+  for (Event& ev : src) {
+    const int i = static_cast<int>((ev.when - l1_start_) >> kL1Shift);
+    l1_[i].push_back(std::move(ev));
+    l1_occ_.Set(i);
+  }
+  src.clear();
+  return true;
+}
+
+void CalendarQueue::RebaseFromOverflow() {
+  SimTime min_when = kSimTimeMax;
+  for (const Event& ev : overflow_) {
+    min_when = std::min(min_when, ev.when);
+  }
+  // Jump the L2 window straight to the overflow minimum (aligned down
+  // to a bucket boundary) — empty epochs are skipped, not stepped.
+  l2_start_ = min_when & ~((SimTime{1} << kL2Shift) - 1);
+  l2_cursor_ = 0;
+  std::size_t kept = 0;
+  for (Event& ev : overflow_) {
+    const SimTime off = ev.when - l2_start_;
+    if ((off >> kL2Shift) < static_cast<SimTime>(kNumBuckets)) {
+      const int i = static_cast<int>(off >> kL2Shift);
+      l2_[i].push_back(std::move(ev));
+      l2_occ_.Set(i);
+    } else {
+      overflow_[kept++] = std::move(ev);
+    }
+  }
+  overflow_.resize(kept);
+}
+
+}  // namespace mgjoin::sim

@@ -1,37 +1,35 @@
 #include "sim/simulator.h"
 
-#include "common/logging.h"
-
 namespace mgjoin::sim {
 
-void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
-  MGJ_CHECK(when >= now_) << "scheduling into the past: " << when << " < "
-                          << now_;
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+template <typename Q>
+SimTime Simulator::RunLoop(Q& queue, SimTime until, bool bounded) {
+  while (!queue.Empty()) {
+    const SimTime t = queue.PeekWhen();
+    if (bounded && t > until) break;
+    now_ = t;
+    // Batched same-timestamp dispatch: drain every event at now_ —
+    // including ones a handler schedules *at* now_ mid-batch, which
+    // carry higher seq numbers and thus run last, exactly as the
+    // one-pop-per-iteration loop ordered them.
+    do {
+      ++events_processed_;
+      queue.InvokeNext();
+    } while (!queue.Empty() && queue.PeekWhen() == now_);
+  }
+  if (bounded && now_ < until) now_ = until;
+  return now_;
 }
 
 SimTime Simulator::Run() {
-  while (!queue_.empty()) {
-    // The event's closure may schedule more events; pop first.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ++events_processed_;
-    ev.fn();
-  }
-  return now_;
+  return kind_ == QueueKind::kCalendar
+             ? RunLoop(calendar_, kSimTimeMax, false)
+             : RunLoop(heap_, kSimTimeMax, false);
 }
 
 SimTime Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().when <= until) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ++events_processed_;
-    ev.fn();
-  }
-  if (now_ < until) now_ = until;
-  return now_;
+  return kind_ == QueueKind::kCalendar ? RunLoop(calendar_, until, true)
+                                       : RunLoop(heap_, until, true);
 }
 
 }  // namespace mgjoin::sim

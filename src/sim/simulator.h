@@ -2,83 +2,20 @@
 #define MGJOIN_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <limits>
-#include <queue>
-#include <vector>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/event_fn.h"
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
 
 namespace mgjoin::sim {
 
-/// Simulated time in picoseconds. Picosecond resolution lets the kernel
-/// cost models express per-tuple costs (the paper reports costs in
-/// ps/tuple in Figure 10) without rounding.
-using SimTime = std::uint64_t;
-
-inline constexpr SimTime kPicosecond = 1;
-inline constexpr SimTime kNanosecond = 1000ull;
-inline constexpr SimTime kMicrosecond = 1000ull * kNanosecond;
-inline constexpr SimTime kMillisecond = 1000ull * kMicrosecond;
-inline constexpr SimTime kSecond = 1000ull * kMillisecond;
-
-/// Largest representable simulated instant (~213 days).
-inline constexpr SimTime kSimTimeMax =
-    std::numeric_limits<SimTime>::max();
-
-/// Converts a duration in seconds (double) to SimTime.
-///
-/// Negative, NaN and otherwise non-positive inputs clamp to 0 (a
-/// negative double cast to the unsigned SimTime would wrap to a huge
-/// value and silently schedule events centuries out); inputs beyond the
-/// representable range clamp to kSimTimeMax.
-inline SimTime FromSeconds(double s) {
-  if (!(s > 0.0)) return 0;  // also catches NaN
-  const double ps = s * static_cast<double>(kSecond) + 0.5;
-  if (ps >= static_cast<double>(kSimTimeMax)) return kSimTimeMax;
-  return static_cast<SimTime>(ps);
-}
-
-/// Converts SimTime to seconds.
-inline double ToSeconds(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kSecond);
-}
-
-inline double ToMillis(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kMillisecond);
-}
-
-inline double ToMicros(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
-}
-
-/// Time needed to move `bytes` at `bytes_per_sec`.
-///
-/// Computed in 128-bit integer arithmetic: the ps-per-byte rate is held
-/// in 2^-30 fixed point and multiplied by the exact byte count. A pure
-/// double round-trip loses integer precision once bytes x ps-per-byte
-/// exceeds 2^53 (TiB-range virtual flows over slow links), which made
-/// per-leg times depend on how a flow was split into packets.
-inline SimTime TransferTime(std::uint64_t bytes, double bytes_per_sec) {
-  if (bytes == 0) return 0;
-  if (!(bytes_per_sec > 0.0)) return kSimTimeMax;
-  constexpr int kFpBits = 30;
-  const double ps_per_byte =
-      static_cast<double>(kSecond) / bytes_per_sec;
-  const double fp_scaled =
-      ps_per_byte * static_cast<double>(1ull << kFpBits) + 0.5;
-  // Rates slower than ~1 byte per 8.6 ms would overflow the fixed-point
-  // product; no modeled link is remotely that slow.
-  if (fp_scaled >= static_cast<double>(kSimTimeMax)) return kSimTimeMax;
-  const unsigned __int128 fp =
-      static_cast<unsigned __int128>(fp_scaled);
-  const unsigned __int128 ps =
-      (static_cast<unsigned __int128>(bytes) * fp +
-       (static_cast<unsigned __int128>(1) << (kFpBits - 1))) >>
-      kFpBits;
-  if (ps >= static_cast<unsigned __int128>(kSimTimeMax)) {
-    return kSimTimeMax;
-  }
-  return static_cast<SimTime>(ps);
-}
+/// Selects the event-queue implementation backing a Simulator.
+enum class QueueKind {
+  kCalendar,       ///< two-level calendar queue (default, fast path)
+  kHeapReference,  ///< original binary heap, kept as a determinism oracle
+};
 
 /// \brief Deterministic discrete-event simulator.
 ///
@@ -86,9 +23,17 @@ inline SimTime TransferTime(std::uint64_t bytes, double bytes_per_sec) {
 /// broken by insertion order so runs are exactly reproducible. The
 /// network layer, the GPU kernel models and the join drivers all advance
 /// this single clock.
+///
+/// Events live in a two-level calendar queue (see event_queue.h) and
+/// their callables in small-buffer EventFn slots backed by this
+/// simulator's EventArena, so steady-state scheduling performs no heap
+/// allocation. Same-timestamp events dispatch as one batch: the clock
+/// advances once, then the sorted run drains with a cursor increment
+/// per event.
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(QueueKind kind = QueueKind::kCalendar)
+      : kind_(kind) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -96,43 +41,67 @@ class Simulator {
   /// Current simulated time.
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` after the current time.
-  void Schedule(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  /// Schedules `fn` to run `delay` after the current time. A delay that
+  /// would overflow the clock (e.g. TransferTime on a zero-rate link
+  /// returning kSimTimeMax) saturates to kSimTimeMax instead of
+  /// wrapping.
+  template <typename F>
+  void Schedule(SimTime delay, F&& fn) {
+    const SimTime when =
+        delay > kSimTimeMax - now_ ? kSimTimeMax : now_ + delay;
+    PushEvent(when, EventFn(&arena_, std::forward<F>(fn)));
   }
 
   /// Schedules `fn` at absolute time `when` (>= Now()).
-  void ScheduleAt(SimTime when, std::function<void()> fn);
+  template <typename F>
+  void ScheduleAt(SimTime when, F&& fn) {
+    PushEvent(when, EventFn(&arena_, std::forward<F>(fn)));
+  }
 
   /// Runs events until the queue is empty. Returns the final time.
   SimTime Run();
 
-  /// Runs events with time <= `until`. Clock ends at min(until, last
-  /// event time processed).
+  /// Runs events with time <= `until`. The clock always advances to
+  /// `until`, even when the queue drains earlier, so back-to-back
+  /// RunUntil calls tile simulated time. Returns `until` (== Now()).
   SimTime RunUntil(SimTime until);
 
   /// Number of events processed so far (for tests / sanity checks).
   std::uint64_t events_processed() const { return events_processed_; }
 
-  bool Empty() const { return queue_.empty(); }
+  bool Empty() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.Empty()
+                                         : heap_.Empty();
+  }
+
+  /// Heap blocks the event arena has obtained from the system (tests:
+  /// steady-state scheduling must keep this flat).
+  std::size_t arena_blocks_allocated() const {
+    return arena_.blocks_allocated();
+  }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  void PushEvent(SimTime when, EventFn&& fn) {
+    MGJ_CHECK(when >= now_)
+        << "scheduling into the past: " << when << " < " << now_;
+    if (kind_ == QueueKind::kCalendar) {
+      calendar_.Push(when, next_seq_++, std::move(fn));
+    } else {
+      heap_.Push(when, next_seq_++, std::move(fn));
     }
-  };
+  }
+  template <typename Q>
+  SimTime RunLoop(Q& queue, SimTime until, bool bounded);
 
+  QueueKind kind_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // The arena must outlive the queues: EventFns still enqueued at
+  // destruction return their blocks to it.
+  EventArena arena_;
+  CalendarQueue calendar_;
+  HeapQueue heap_;
 };
 
 }  // namespace mgjoin::sim
