@@ -22,6 +22,8 @@
 #include "net/link_state.h"
 #include "net/routing_policy.h"
 #include "net/transfer_engine.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "topo/presets.h"
 
@@ -123,6 +125,60 @@ void BM_ZipfGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfGeneration);
 
+// Metrics touch cost: the per-packet hot path resolves its counters
+// once at setup (CounterHandle) instead of walking the registry's
+// std::map per touch. The two variants quantify the gap the
+// transfer-engine migration removed.
+void BM_MetricsTouchByName(benchmark::State& state) {
+  obs::MetricsRegistry m;
+  for (auto _ : state) {
+    m.counter("net.payload_bytes").Add(64);
+    m.counter("net.wire_bytes").Add(96);
+    m.gauge("net.transit_queue_depth").Set(7);
+    m.histogram("net.batch_packets").Observe(12);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MetricsTouchByName);
+
+void BM_MetricsTouchByHandle(benchmark::State& state) {
+  obs::MetricsRegistry m;
+  obs::CounterHandle payload = m.counter_handle("net.payload_bytes");
+  obs::CounterHandle wire = m.counter_handle("net.wire_bytes");
+  obs::GaugeHandle depth = m.gauge_handle("net.transit_queue_depth");
+  obs::HistogramHandle batch = m.histogram_handle("net.batch_packets");
+  for (auto _ : state) {
+    payload.Add(64);
+    wire.Add(96);
+    depth.Set(7);
+    batch.Observe(12);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MetricsTouchByHandle);
+
+// The disabled-metrics case call sites actually pay when obs is off:
+// empty handles, every touch a no-op.
+void BM_MetricsTouchDisabled(benchmark::State& state) {
+  obs::CounterHandle payload =
+      obs::MetricsRegistry::ResolveCounter(nullptr, "net.payload_bytes");
+  obs::CounterHandle wire =
+      obs::MetricsRegistry::ResolveCounter(nullptr, "net.wire_bytes");
+  obs::GaugeHandle depth =
+      obs::MetricsRegistry::ResolveGauge(nullptr, "net.transit_queue_depth");
+  obs::HistogramHandle batch =
+      obs::MetricsRegistry::ResolveHistogram(nullptr, "net.batch_packets");
+  for (auto _ : state) {
+    payload.Add(64);
+    wire.Add(96);
+    depth.Set(7);
+    batch.Observe(12);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_MetricsTouchDisabled);
+
 // ---------------------------------------------------------------------------
 // Event-core throughput family (ROADMAP item 2). Three simulator-only
 // patterns stress different parts of the event queue, and a full
@@ -188,9 +244,13 @@ struct HorizonLeaf {
 };
 
 // Schedules and runs `n` events of `pattern` on `s`; returns events
-// processed.
+// processed. A non-null `sampler` is attached first (fresh sampler per
+// run: Attach binds to one simulator), measuring the observer's cost
+// on the event loop.
 std::uint64_t RunSimCoreWorkload(sim::Simulator& s, int pattern,
-                                 std::uint64_t n) {
+                                 std::uint64_t n,
+                                 obs::TelemetrySampler* sampler = nullptr) {
+  if (sampler != nullptr) sampler->Attach(&s);
   switch (pattern) {
     case 0: {
       constexpr std::uint32_t kChains = 64;
@@ -240,6 +300,8 @@ void EnsureSimCoreReport() {
     r.Meta("sim.events_per_s", "events/s wall", true);
     r.Meta("net.packets_per_s", "packets/s wall", true);
     r.Meta("net.events_per_s", "events/s wall", true);
+    r.Meta("sim.sampled_events_per_s", "events/s wall", true);
+    r.Meta("net.sampled_packets_per_s", "packets/s wall", true);
     return true;
   }();
   (void)once;
@@ -287,6 +349,54 @@ void BM_SimulatorCore(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCore)->Arg(0)->Arg(1)->Arg(2);
 
+// Same workloads with the telemetry sampler attached on the default
+// 1 ms grid: the gap against BM_SimulatorCore is the observer's cost
+// on the event loop (acceptance target: <= 5%, tracked warn-only via
+// the JSON point).
+constexpr sim::SimTime kSimCoreSampleEvery = obs::TelemetrySampler::kDefaultInterval;
+
+void RecordSimCoreSampledPoint(int pattern) {
+  static bool recorded[3] = {false, false, false};
+  if (recorded[pattern]) return;
+  recorded[pattern] = true;
+  EnsureSimCoreReport();
+  constexpr std::uint64_t kEvents = 1 << 20;
+  {
+    sim::Simulator warm;
+    obs::TelemetrySampler sampler(kSimCoreSampleEvery);
+    RunSimCoreWorkload(warm, pattern, kEvents / 8, &sampler);
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::Simulator s;
+    obs::TelemetrySampler sampler(kSimCoreSampleEvery);
+    const std::uint64_t processed =
+        RunSimCoreWorkload(s, pattern, kEvents, &sampler);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::max(best, static_cast<double>(processed) / secs);
+  }
+  bench::BenchReport::Instance().Point(
+      "sim.sampled_events_per_s", SimCorePatternName(pattern), best);
+}
+
+void BM_SimulatorCoreSampled(benchmark::State& state) {
+  const int pattern = static_cast<int>(state.range(0));
+  RecordSimCoreSampledPoint(pattern);
+  constexpr std::uint64_t kEventsPerIter = 1 << 17;
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    sim::Simulator s;
+    obs::TelemetrySampler sampler(kSimCoreSampleEvery);
+    processed += RunSimCoreWorkload(s, pattern, kEventsPerIter, &sampler);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(processed));
+  state.SetLabel(SimCorePatternName(pattern));
+}
+BENCHMARK(BM_SimulatorCoreSampled)->Arg(0)->Arg(1)->Arg(2);
+
 // Same workloads on the binary-heap determinism oracle
 // (QueueKind::kHeapReference) — google-benchmark output only, not part
 // of the gated JSON: it exists so a plain bench run shows the
@@ -311,18 +421,27 @@ struct ShuffleResult {
   std::uint64_t packets = 0;
   std::uint64_t events = 0;
 };
-ShuffleResult RunShuffleWorkload(const topo::Topology* topo) {
+ShuffleResult RunShuffleWorkload(const topo::Topology* topo,
+                                 bool sampled = false) {
   sim::Simulator s;
   auto policy = net::MakePolicy(net::PolicyKind::kAdaptive);
   net::TransferOptions opts;
   opts.packet_bytes = 128 * kKiB;
   opts.ring_buffer_bytes = 4 * kMiB;  // backpressure + ring syncs
+  // Sampled variant: full metrics + per-link/per-flow telemetry on a
+  // 250 us grid — the same grid the CI bench-smoke job samples on.
+  obs::MetricsRegistry metrics;
+  obs::TelemetrySampler sampler(250 * sim::kMicrosecond);
+  if (sampled) {
+    opts.obs.metrics = &metrics;
+    opts.obs.telemetry = &sampler;
+  }
   net::TransferEngine eng(&s, topo, topo::FirstNGpus(8), policy.get(),
                           opts);
   std::uint64_t id = 0;
   for (int a = 0; a < 8; ++a) {
     for (int b = 0; b < 8; ++b) {
-      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 4 * kMiB, 0, 0.0});
+      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 4 * kMiB, 0, 0.0, {}});
     }
   }
   eng.Start();
@@ -365,6 +484,37 @@ void BM_TransferEngineShuffle(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(packets));
 }
 BENCHMARK(BM_TransferEngineShuffle);
+
+void RecordShuffleSampledPoint(const topo::Topology* topo) {
+  static bool recorded = false;
+  if (recorded) return;
+  recorded = true;
+  EnsureSimCoreReport();
+  RunShuffleWorkload(topo, /*sampled=*/true);  // warmup outside the timing
+  double best_packets = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ShuffleResult res = RunShuffleWorkload(topo, /*sampled=*/true);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best_packets =
+        std::max(best_packets, static_cast<double>(res.packets) / secs);
+  }
+  bench::BenchReport::Instance().Point("net.sampled_packets_per_s",
+                                       "adaptive8", best_packets);
+}
+
+void BM_TransferEngineShuffleSampled(benchmark::State& state) {
+  auto topo = topo::MakeDgx1V();
+  RecordShuffleSampledPoint(topo.get());
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    packets += RunShuffleWorkload(topo.get(), /*sampled=*/true).packets;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_TransferEngineShuffleSampled);
 
 }  // namespace
 }  // namespace mgjoin

@@ -10,7 +10,10 @@
 // run in the bench record into one Chrome trace, written at process
 // exit (and flushed from the fatal-log hook, so an MGJ_CHECK abort
 // still leaves the trace that explains it); MGJ_METRICS=1 prints the
-// accumulated metrics registry at exit.
+// accumulated metrics registry at exit. MGJ_TELEMETRY=<file> samples
+// fabric telemetry (obs/telemetry.h) on the simulated clock during
+// every run and writes one OpenMetrics exposition covering all runs
+// (run="<i>" labels) at exit; MGJ_SAMPLE_EVERY tunes the grid.
 //
 // Structured results: MGJ_BENCH_JSON=<dir> makes the bench write
 // BENCH_<name>.json ("mgjoin-bench/1" schema: every printed series as
@@ -32,6 +35,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,8 +50,10 @@
 #include "net/routing_policy.h"
 #include "net/transfer_engine.h"
 #include "obs/bench_json.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "topo/presets.h"
 
@@ -81,8 +87,18 @@ class EnvObs {
     if (options->obs.trace == nullptr && capture_) {
       options->obs.trace = &trace_;
     }
-    if (options->obs.metrics == nullptr && metrics_enabled_) {
+    if (options->obs.metrics == nullptr &&
+        (metrics_enabled_ || !telemetry_path_.empty())) {
+      // Telemetry implies metrics: the OpenMetrics exposition carries
+      // the registry families alongside the sampled series.
       options->obs.metrics = &metrics_;
+    }
+    if (options->obs.telemetry == nullptr && !telemetry_path_.empty()) {
+      // One sampler per run: TelemetrySampler::Attach binds to a single
+      // simulator, and each join/distribution run builds its own.
+      samplers_.push_back(
+          std::make_unique<obs::TelemetrySampler>(sample_every_));
+      options->obs.telemetry = samplers_.back().get();
     }
     if (options->faults.empty() && !fault_spec_.empty()) {
       auto plan = net::FaultPlan::Parse(fault_spec_, topo);
@@ -121,6 +137,16 @@ class EnvObs {
       std::fprintf(stderr, "# MGJ_METRICS\n%s",
                    metrics_.Summary(metrics_window_).c_str());
     }
+    if (!telemetry_path_.empty()) {
+      std::vector<const obs::TelemetrySampler*> runs;
+      runs.reserve(samplers_.size());
+      for (const auto& s : samplers_) runs.push_back(s.get());
+      const Status st = obs::WriteTextFile(
+          telemetry_path_, obs::OpenMetricsText(&metrics_, runs));
+      std::fprintf(stderr, "# MGJ_TELEMETRY: %s (%zu runs): %s\n",
+                   telemetry_path_.c_str(), runs.size(),
+                   st.ok() ? "written" : st.ToString().c_str());
+    }
   }
 
  private:
@@ -131,9 +157,13 @@ class EnvObs {
     metrics_enabled_ = m != nullptr && *m != '\0' && *m != '0';
     const char* f = std::getenv("MGJ_FAULTS");
     if (f != nullptr && *f != '\0') fault_spec_ = f;
+    const char* om = std::getenv("MGJ_TELEMETRY");
+    if (om != nullptr && *om != '\0') telemetry_path_ = om;
+    sample_every_ = obs::TelemetrySampler::IntervalFromEnv();
     const char* bj = std::getenv("MGJ_BENCH_JSON");
     capture_ = !trace_path_.empty() || (bj != nullptr && *bj != '\0');
-    if (!trace_path_.empty() || metrics_enabled_) {
+    if (!trace_path_.empty() || metrics_enabled_ ||
+        !telemetry_path_.empty()) {
       AtFatal([this] { Flush(); });
     }
   }
@@ -142,12 +172,15 @@ class EnvObs {
 
   std::string trace_path_;
   std::string fault_spec_;
+  std::string telemetry_path_;
   bool metrics_enabled_ = false;
   bool capture_ = false;
   bool flushed_ = false;
   obs::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
   sim::SimTime metrics_window_ = sim::kSecond;
+  sim::SimTime sample_every_ = obs::TelemetrySampler::kDefaultInterval;
+  std::vector<std::unique_ptr<obs::TelemetrySampler>> samplers_;
 };
 
 /// \brief Builds and writes the bench's BENCH_<name>.json when
@@ -336,7 +369,7 @@ inline std::vector<net::Flow> ShuffleFlows(const std::vector<int>& gpus,
       if (i == j) continue;
       flows.push_back(net::Flow{id++, gpus[i], gpus[j],
                                 held[i] / static_cast<std::uint64_t>(g),
-                                0, 0.0});
+                                0, 0.0, {}});
     }
   }
   return flows;

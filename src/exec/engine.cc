@@ -185,6 +185,9 @@ Result<Engine::Joined> Engine::HashJoin(const DistTable& left,
 
   join::MgJoinOptions jopts = options_.join;
   jopts.materialize_pairs = true;
+  // Each join this engine runs is one query for attribution purposes:
+  // give it a fresh id unless the caller pinned one.
+  if (jopts.query_id == 0) jopts.query_id = ++next_query_id_;
   join::MgJoin join(topo_, gpus_, jopts);
   MGJ_ASSIGN_OR_RETURN(join::JoinResult res, join.Execute(r, s));
 

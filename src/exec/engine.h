@@ -95,6 +95,9 @@ class Engine {
   EngineOptions options_;
   std::vector<sim::SimTime> gpu_clock_;
   double bisection_bw_ = 0.0;
+  /// Attribution counter: HashJoin stamps each join's flows with a
+  /// fresh query id unless the options pin one (see MgJoinOptions).
+  std::uint64_t next_query_id_ = 0;
 };
 
 /// Copies row `row` of every listed column from `src` into `dst`

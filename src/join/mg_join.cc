@@ -160,6 +160,8 @@ Result<JoinResult> MgJoin::Execute(const data::DistRelation& r,
       });
   for (net::Flow f : shuffle.flows) {
     const int src_dense = dense[f.src_gpu];
+    f.tag.query_id = options_.query_id;
+    f.tag.phase = "shuffle";
     if (options_.overlap) {
       // Packets become available as the partition kernel emits them.
       f.available_at = hist_end;

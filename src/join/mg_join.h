@@ -48,6 +48,10 @@ struct MgJoinOptions {
   /// Purely a wall-clock knob: functional results, simulated times and
   /// traces are byte-identical at any setting (DESIGN.md Sec 11).
   int host_threads = 0;
+  /// Attribution id stamped into every flow's FlowTag (telemetry /
+  /// per-flow metrics; DESIGN.md Sec 14). The exec engine assigns a
+  /// fresh id per query when this is left 0.
+  std::uint64_t query_id = 0;
 
   /// The DPRJ baseline (Guo et al. [21]): CUDA direct routes, no
   /// network-optimal assignment, bulk transfers, no compression.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace mgjoin::net {
 
@@ -19,7 +20,26 @@ LinkStateTable::LinkStateTable(sim::Simulator* sim,
   busy_.assign(dirs, 0);
   bytes_.assign(dirs, 0);
   dir_tracks_.assign(dirs, -1);
+  dir_timelines_.assign(dirs, nullptr);
   avail_.Reset(topo->num_links());
+  if (hooks_.telemetry != nullptr) {
+    // Per-link-direction occupancy probes: the sampled queue delay and
+    // cumulative busy time turn end-of-run link aggregates into
+    // time-resolved series. Iteration order (link id, then fwd/rev) is
+    // fixed, keeping the export deterministic.
+    for (int link_id = 0; link_id < topo->num_links(); ++link_id) {
+      for (int dir = 0; dir < 2; ++dir) {
+        const topo::LinkDir ld{link_id, dir};
+        hooks_.telemetry->AddProbe(
+            DirName(ld) + ".queue_ps", [this, ld] {
+              return static_cast<std::uint64_t>(TrueQueueDelay(ld));
+            });
+        hooks_.telemetry->AddProbe(DirName(ld) + ".busy_ps", [this, ld] {
+          return static_cast<std::uint64_t>(BusyTime(ld));
+        });
+      }
+    }
+  }
 }
 
 std::string LinkStateTable::DirName(topo::LinkDir ld) const {
@@ -48,8 +68,18 @@ void LinkStateTable::RecordLeg(topo::LinkDir ld, sim::SimTime start,
                        {{"bytes", bytes}, {"queue_ns", queue_ns}});
   }
   if (hooks_.metrics != nullptr) {
-    hooks_.metrics->timeline(DirName(ld)).AddBusy(start, end);
-    hooks_.metrics->histogram("net.link_queue_ns").Observe(queue_ns);
+    // Pre-resolved on first use per direction: this runs once per
+    // transmitted leg, and the by-name path (string build + map walk)
+    // costs more than the whole record. Lazy, like dir_tracks_, so
+    // untouched links never materialize registry families.
+    obs::Timeline*& tl = dir_timelines_[Index(ld)];
+    if (tl == nullptr) tl = &hooks_.metrics->timeline(DirName(ld));
+    tl->AddBusy(start, end);
+    if (!link_queue_hist_) {
+      link_queue_hist_ = obs::MetricsRegistry::ResolveHistogram(
+          hooks_.metrics, "net.link_queue_ns");
+    }
+    link_queue_hist_.Observe(queue_ns);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/fault_plan.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "sim/simulator.h"
 #include "topo/link.h"
@@ -134,6 +135,12 @@ class LinkStateTable {
   const topo::Topology* topo_;
   obs::ObsHooks hooks_;
   std::vector<int> dir_tracks_;  // lazily assigned trace track ids
+  // Lazily resolved per-direction registry references (RecordLeg runs
+  // once per transmitted leg; by-name lookups there dominate the cost
+  // of the record itself). Timeline pointers stay valid: the registry
+  // stores families in node-stable maps.
+  std::vector<obs::Timeline*> dir_timelines_;
+  obs::HistogramHandle link_queue_hist_;
   // Per-direction state in SoA layout, indexed by Index(ld). The
   // adaptive policy scans queue delays across every candidate link of
   // every candidate route per decision, so the hot fields (next_free_,

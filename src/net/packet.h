@@ -6,6 +6,7 @@
 #include <type_traits>
 
 #include "common/logging.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "topo/topology.h"
 
@@ -26,6 +27,10 @@ struct Flow {
   std::uint64_t bytes = 0;
   sim::SimTime available_at = 0;
   double generation_rate = 0.0;  ///< 0 = all bytes ready at available_at
+  /// Attribution: which query/phase produced this flow. The engine fills
+  /// unset fields at registration (src/dst from the endpoints, phase
+  /// "flow"), so telemetry and metrics always see a complete tag.
+  obs::FlowTag tag;
 };
 
 /// \brief Fixed-capacity inline route, the POD counterpart of

@@ -5,6 +5,7 @@
 
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "obs/telemetry.h"
 
 namespace mgjoin::net {
 
@@ -51,6 +52,53 @@ TransferEngine::TransferEngine(sim::Simulator* sim,
     obs_.auditor = owned_auditor_.get();
   }
   RegisterAuditorChecks();
+  ResolveMetricHandles();
+  if (obs_.telemetry != nullptr) {
+    obs_.telemetry->Attach(sim_);
+    RegisterTelemetryProbes();
+  }
+}
+
+void TransferEngine::ResolveMetricHandles() {
+  obs::MetricsRegistry* m = obs_.metrics;
+  m_batches_ = obs::MetricsRegistry::ResolveCounter(m, "net.batches");
+  m_packet_hops_ = obs::MetricsRegistry::ResolveCounter(m, "net.packet_hops");
+  m_wire_bytes_ = obs::MetricsRegistry::ResolveCounter(m, "net.wire_bytes");
+  m_packets_ = obs::MetricsRegistry::ResolveCounter(m, "net.packets");
+  m_payload_bytes_ =
+      obs::MetricsRegistry::ResolveCounter(m, "net.payload_bytes");
+  m_ring_syncs_ = obs::MetricsRegistry::ResolveCounter(m, "net.ring_syncs");
+  m_escapes_ = obs::MetricsRegistry::ResolveCounter(m, "net.escapes");
+  m_fault_aborts_ =
+      obs::MetricsRegistry::ResolveCounter(m, "net.fault_aborts");
+  m_fault_reroutes_ =
+      obs::MetricsRegistry::ResolveCounter(m, "net.fault_reroutes");
+  m_fault_waits_ = obs::MetricsRegistry::ResolveCounter(m, "net.fault_waits");
+  m_src_queue_depth_ =
+      obs::MetricsRegistry::ResolveGauge(m, "net.src_queue_depth");
+  m_ring_occupancy_ =
+      obs::MetricsRegistry::ResolveGauge(m, "net.ring_occupancy");
+  m_transit_queue_depth_ =
+      obs::MetricsRegistry::ResolveGauge(m, "net.transit_queue_depth");
+  m_batch_packets_ =
+      obs::MetricsRegistry::ResolveHistogram(m, "net.batch_packets");
+}
+
+void TransferEngine::RegisterTelemetryProbes() {
+  obs::TelemetrySampler* t = obs_.telemetry;
+  t->AddProbe("net.inflight_bytes", [this] { return inflight_payload_; });
+  t->AddProbe("net.pending_bytes", [this] { return pending_payload_; });
+  for (int g : gpus_) {
+    t->AddProbe("net.gpu" + std::to_string(g) + ".queued_packets",
+                [this, g] {
+                  const GpuState& gs = gpu_states_[dense_[g]];
+                  std::uint64_t n = 0;
+                  for (const RingDeque<QueuedPacket>& q : gs.queues) {
+                    n += q.size();
+                  }
+                  return n;
+                });
+  }
 }
 
 void TransferEngine::RegisterAuditorChecks() {
@@ -119,10 +167,6 @@ void TransferEngine::RegisterAuditorChecks() {
   });
 }
 
-void TransferEngine::MetricAdd(const char* name, std::uint64_t n) {
-  if (obs_.metrics != nullptr) obs_.metrics->counter(name).Add(n);
-}
-
 int TransferEngine::DmaTrack(int gpu, int slot) {
   int& track =
       dma_tracks_[static_cast<std::size_t>(dense_[gpu]) *
@@ -151,8 +195,18 @@ void TransferEngine::AddFlow(const Flow& flow) {
                 .second)
       << "duplicate flow id " << flow.id;
   flows_.push_back(flow);
+  // Complete the attribution tag so telemetry and metrics never see a
+  // half-filled one: endpoints from the flow itself, phase "flow" when
+  // the caller did not name one.
+  Flow& f = flows_.back();
+  if (f.tag.phase.empty()) f.tag.phase = "flow";
+  if (f.tag.src < 0) f.tag.src = f.src_gpu;
+  if (f.tag.dst < 0) f.tag.dst = f.dst_gpu;
   flow_delivered_.push_back(0);
-  pending_payload_ += flow.bytes;
+  flow_payload_counters_.push_back(obs::MetricsRegistry::ResolveCounter(
+      obs_.metrics,
+      "net.flow." + f.tag.MetricComponent() + ".payload_bytes"));
+  pending_payload_ += f.bytes;
 }
 
 void TransferEngine::Start() {
@@ -169,6 +223,23 @@ void TransferEngine::Start() {
   for (std::uint32_t idx = 0; idx < flows_.size(); ++idx) {
     const Flow& f = flows_[idx];
     stats_.first_available = std::min(stats_.first_available, f.available_at);
+    if (obs_.telemetry != nullptr) {
+      obs_.telemetry->AddFlowProbe(
+          f.tag, "delivered_bytes",
+          [this, idx] { return flow_delivered_[idx]; });
+    }
+    if (obs_.trace != nullptr) {
+      // One registration instant per flow maps flow_id -> FlowTag in
+      // the trace, making every later net.* event (batch spans carry
+      // the flow and query ids) attributable per flow and per phase.
+      if (flow_track_ < 0) flow_track_ = obs_.trace->Track("net.flows");
+      obs_.trace->Instant(flow_track_, "flow", f.tag.phase, f.available_at,
+                          {{"flow", f.id},
+                           {"query", f.tag.query_id},
+                           {"src", static_cast<std::uint64_t>(f.tag.src)},
+                           {"dst", static_cast<std::uint64_t>(f.tag.dst)},
+                           {"bytes", f.bytes}});
+    }
     const std::uint64_t num_packets =
         CeilDiv(f.bytes, options_.packet_bytes);
     if (f.generation_rate <= 0.0) {
@@ -215,9 +286,7 @@ void TransferEngine::InjectPackets(std::uint32_t flow_idx,
     // Route assigned when the batch is formed.
     queue.push_back(QueuedPacket{p, -1});
   }
-  if (obs_.metrics != nullptr) {
-    obs_.metrics->gauge("net.src_queue_depth").Set(queue.size());
-  }
+  m_src_queue_depth_.Set(queue.size());
   TryStartSends(flow.src_gpu);
 }
 
@@ -339,10 +408,7 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
   }
   rl.claimed += batch.size();
   rl.failed_polls = 0;  // the ring made progress
-  if (obs_.metrics != nullptr) {
-    obs_.metrics->gauge("net.ring_occupancy")
-        .Set(rl.claimed - rl.freed);
-  }
+  m_ring_occupancy_.Set(rl.claimed - rl.freed);
   SendBatch(gpu, std::move(batch), route);
   return true;
 }
@@ -352,10 +418,8 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
   GpuState& gs = gpu_state(gpu);
   ++gs.busy_engines;
   ++stats_.batches;
-  MetricAdd("net.batches", 1);
-  if (obs_.metrics != nullptr) {
-    obs_.metrics->histogram("net.batch_packets").Observe(batch.size());
-  }
+  m_batches_.Add(1);
+  m_batch_packets_.Observe(batch.size());
   // Pin the batch to a DMA engine slot so its busy span lands on a
   // stable per-engine trace track.
   int slot = 0;
@@ -387,7 +451,7 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
       MGJ_CHECK(rl.claimed >= batch.size());
       rl.claimed -= batch.size();
       ++stats_.fault_aborts;
-      MetricAdd("net.fault_aborts", 1);
+      m_fault_aborts_.Add(1);
       GpuState& gs = gpu_state(gpu);
       for (auto rit = batch.rbegin(); rit != batch.rend(); ++rit) {
         QueuedPacket& qp = *rit;
@@ -418,8 +482,8 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
       engine_free = res.end;
       ++stats_.packet_hops;
       stats_.wire_bytes += qp.packet.payload_bytes;
-      MetricAdd("net.packet_hops", 1);
-      MetricAdd("net.wire_bytes", qp.packet.payload_bytes);
+      m_packet_hops_.Add(1);
+      m_wire_bytes_.Add(qp.packet.payload_bytes);
       // Transit packets release their upstream ring slot once the data
       // has left this GPU.
       if (qp.slot_upstream >= 0) {
@@ -436,11 +500,13 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
       });
     }
     if (obs_.trace != nullptr) {
-      obs_.trace->Span(DmaTrack(gpu, slot), "net", "batch", send_start,
-                       engine_free,
-                       {{"dst", static_cast<std::uint64_t>(next)},
-                        {"packets", batch.size()},
-                        {"flow", batch.front().packet.flow_id}});
+      obs_.trace->Span(
+          DmaTrack(gpu, slot), "net", "batch", send_start, engine_free,
+          {{"dst", static_cast<std::uint64_t>(next)},
+           {"packets", batch.size()},
+           {"flow", batch.front().packet.flow_id},
+           {"query",
+            flows_[batch.front().packet.flow_idx].tag.query_id}});
     }
     sim_->ScheduleAt(engine_free, [this, gpu, slot] {
       GpuState& gs = gpu_state(gpu);
@@ -460,11 +526,17 @@ void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
     ++packet.hop;  // count the completed hop
     stats_.payload_bytes += packet.payload_bytes;
     flow_delivered_[packet.flow_idx] += packet.payload_bytes;
-    MetricAdd("net.packets", 1);
-    MetricAdd("net.payload_bytes", packet.payload_bytes);
+    m_packets_.Add(1);
+    m_payload_bytes_.Add(packet.payload_bytes);
+    flow_payload_counters_[packet.flow_idx].Add(packet.payload_bytes);
     MGJ_CHECK(pending_payload_ >= packet.payload_bytes);
     pending_payload_ -= packet.payload_bytes;
     stats_.last_delivery = std::max(stats_.last_delivery, sim_->Now());
+    if (pending_payload_ == 0 && obs_.telemetry != nullptr) {
+      // Final snapshot: the last delivery rarely lands on a grid point,
+      // so force one to capture end-of-run totals for every series.
+      obs_.telemetry->SampleNow(sim_->Now());
+    }
     if (deliver_cb_) deliver_cb_(packet, sim_->Now());
     // The routing slot frees once the payload is unpacked into the local
     // partitioning pipeline.
@@ -488,14 +560,12 @@ void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
       packet.route = alt;
       packet.hop = 0;
       ++stats_.fault_reroutes;
-      MetricAdd("net.fault_reroutes", 1);
+      m_fault_reroutes_.Add(1);
     }
   }
   RingDeque<QueuedPacket>& queue = queue_at(gs, true, packet.next_gpu());
   queue.push_back(QueuedPacket{packet, from_gpu});
-  if (obs_.metrics != nullptr) {
-    obs_.metrics->gauge("net.transit_queue_depth").Set(queue.size());
-  }
+  m_transit_queue_depth_.Set(queue.size());
   TryStartSends(here);
 }
 
@@ -511,7 +581,7 @@ void TransferEngine::StartRingSync(int receiver, int upstream) {
   if (rl.sync_pending) return;
   rl.sync_pending = true;
   ++stats_.ring_syncs;
-  MetricAdd("net.ring_syncs", 1);
+  m_ring_syncs_.Add(1);
   if (obs_.trace != nullptr) {
     if (ring_track_ < 0) ring_track_ = obs_.trace->Track("net.rings");
     obs_.trace->Instant(ring_track_, "ring", "sync", sim_->Now(),
@@ -649,7 +719,7 @@ std::uint64_t TransferEngine::RepairTransitQueue(int gpu, int peer) {
   q = std::move(keep);
   if (moved > 0) {
     stats_.fault_reroutes += moved;
-    MetricAdd("net.fault_reroutes", moved);
+    m_fault_reroutes_.Add(moved);
     if (obs_.trace != nullptr) {
       if (fault_track_ < 0) fault_track_ = obs_.trace->Track("net.faults");
       obs_.trace->Instant(fault_track_, "fault", "reroute", sim_->Now(),
@@ -695,7 +765,7 @@ void TransferEngine::ScheduleFaultRetry(int gpu) {
   // Counted as watchdog progress: waiting out an outage with a restore
   // scheduled is healthy, not deadlocked.
   ++stats_.fault_waits;
-  MetricAdd("net.fault_waits", 1);
+  m_fault_waits_.Add(1);
   sim_->Schedule(options_.fault_retry_interval, [this, gpu] {
     fault_retry_pending_[dense_[gpu]] = 0;
     TryStartSends(gpu);
@@ -741,7 +811,7 @@ void TransferEngine::EscapeBlockedPackets(int sender, int receiver) {
   }
   q = std::move(keep);
   if (moved > 0) {
-    MetricAdd("net.escapes", moved);
+    m_escapes_.Add(moved);
     if (obs_.trace != nullptr) {
       if (ring_track_ < 0) ring_track_ = obs_.trace->Track("net.rings");
       obs_.trace->Instant(

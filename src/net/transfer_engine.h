@@ -218,7 +218,8 @@ class TransferEngine {
   }
 
   void RegisterAuditorChecks();
-  void MetricAdd(const char* name, std::uint64_t n);
+  void ResolveMetricHandles();
+  void RegisterTelemetryProbes();
   int DmaTrack(int gpu, int slot);
   void InjectPackets(std::uint32_t flow_idx, std::uint64_t first_packet,
                      std::uint64_t num_packets);
@@ -232,6 +233,7 @@ class TransferEngine {
   // instead of the packet itself, keeping the closure inside EventFn's
   // inline buffer. Freed handles are recycled LIFO.
   std::uint32_t InflightAlloc(const Packet& p) {
+    inflight_payload_ += p.payload_bytes;
     if (!inflight_free_.empty()) {
       const std::uint32_t idx = inflight_free_.back();
       inflight_free_.pop_back();
@@ -243,6 +245,7 @@ class TransferEngine {
   }
   Packet InflightTake(std::uint32_t idx) {
     inflight_free_.push_back(idx);
+    inflight_payload_ -= inflight_[idx].payload_bytes;
     return inflight_[idx];
   }
   void FreeRingSlot(int receiver, int upstream);
@@ -265,12 +268,33 @@ class TransferEngine {
   std::unique_ptr<obs::InvariantAuditor> owned_auditor_;
   LinkStateTable links_;
 
+  // Pre-resolved metric handles: one registry lookup at construction,
+  // none per packet/batch touch. Default-constructed (no-op) when
+  // metrics are disabled.
+  obs::CounterHandle m_batches_;
+  obs::CounterHandle m_packet_hops_;
+  obs::CounterHandle m_wire_bytes_;
+  obs::CounterHandle m_packets_;
+  obs::CounterHandle m_payload_bytes_;
+  obs::CounterHandle m_ring_syncs_;
+  obs::CounterHandle m_escapes_;
+  obs::CounterHandle m_fault_aborts_;
+  obs::CounterHandle m_fault_reroutes_;
+  obs::CounterHandle m_fault_waits_;
+  obs::GaugeHandle m_src_queue_depth_;
+  obs::GaugeHandle m_ring_occupancy_;
+  obs::GaugeHandle m_transit_queue_depth_;
+  obs::HistogramHandle m_batch_packets_;
+
   // Flow bookkeeping is slab-style: `flows_` is the registry, parallel
   // arrays are indexed by the dense flow index that packets carry
   // (Packet::flow_idx). The id->index map exists only for duplicate
   // detection at registration time — no hot path touches it.
   std::vector<Flow> flows_;
   std::vector<std::uint64_t> flow_delivered_;  // parallel to flows_
+  // Per-flow delivered-payload counters ("net.flow.q<id>.<phase>.
+  // payload_bytes"), resolved at registration; parallel to flows_.
+  std::vector<obs::CounterHandle> flow_payload_counters_;
   std::map<std::uint64_t, std::uint32_t> flow_index_;
   std::vector<Packet> inflight_;
   std::vector<std::uint32_t> inflight_free_;
@@ -280,11 +304,13 @@ class TransferEngine {
   std::vector<int> service_order_;  // TryStartSends scratch (queue idxs)
   int ring_track_ = -1;
   int fault_track_ = -1;
+  int flow_track_ = -1;
   std::vector<char> fault_retry_pending_;  // per dense GPU index
   DeliverCallback deliver_cb_;
 
   bool started_ = false;
   std::uint64_t pending_payload_ = 0;
+  std::uint64_t inflight_payload_ = 0;  ///< payload bytes on the wire
   std::uint64_t next_packet_id_ = 0;
   sim::SimTime global_barrier_free_ = 0;  // centralized-policy serializer
   TransferStats stats_;

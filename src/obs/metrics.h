@@ -110,6 +110,57 @@ class Timeline {
   std::vector<sim::SimTime> bins_;
 };
 
+/// \brief Pre-resolved reference to a registry Counter.
+///
+/// Hot paths touch metrics once per packet/batch; resolving the name
+/// through the registry's std::map on every touch costs more than the
+/// add itself. A handle is resolved once at setup and is null-safe: a
+/// default-constructed handle (metrics disabled) makes every touch a
+/// no-op, so call sites need no branching of their own. Handles stay
+/// valid for the registry's lifetime — std::map nodes never move.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  explicit CounterHandle(Counter* c) : c_(c) {}
+  void Add(std::uint64_t n = 1) {
+    if (c_ != nullptr) c_->Add(n);
+  }
+  explicit operator bool() const { return c_ != nullptr; }
+
+ private:
+  Counter* c_ = nullptr;
+};
+
+/// Pre-resolved, null-safe reference to a registry Gauge (see
+/// CounterHandle).
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  explicit GaugeHandle(Gauge* g) : g_(g) {}
+  void Set(std::uint64_t v) {
+    if (g_ != nullptr) g_->Set(v);
+  }
+  explicit operator bool() const { return g_ != nullptr; }
+
+ private:
+  Gauge* g_ = nullptr;
+};
+
+/// Pre-resolved, null-safe reference to a registry Histogram (see
+/// CounterHandle).
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  explicit HistogramHandle(Histogram* h) : h_(h) {}
+  void Observe(std::uint64_t v) {
+    if (h_ != nullptr) h_->Observe(v);
+  }
+  explicit operator bool() const { return h_ != nullptr; }
+
+ private:
+  Histogram* h_ = nullptr;
+};
+
 /// \brief Registry of named metrics. Names are hierarchical by
 /// convention ("net.packets", "link.NVLink1:0-1.fwd"); the summary is
 /// sorted by name so output is deterministic.
@@ -138,6 +189,32 @@ class MetricsRegistry {
   /// True if `name` exists (lookup without creating).
   bool HasCounter(const std::string& name) const {
     return counters_.count(name) > 0;
+  }
+
+  /// Handle accessors: one map lookup now, none per touch.
+  CounterHandle counter_handle(const std::string& name) {
+    return CounterHandle(&counters_[name]);
+  }
+  GaugeHandle gauge_handle(const std::string& name) {
+    return GaugeHandle(&gauges_[name]);
+  }
+  HistogramHandle histogram_handle(const std::string& name) {
+    return HistogramHandle(&histograms_[name]);
+  }
+
+  /// Null-tolerant resolvers: an absent registry yields an empty (no-op)
+  /// handle, so components resolve unconditionally at setup.
+  static CounterHandle ResolveCounter(MetricsRegistry* m,
+                                      const std::string& name) {
+    return m == nullptr ? CounterHandle() : m->counter_handle(name);
+  }
+  static GaugeHandle ResolveGauge(MetricsRegistry* m,
+                                  const std::string& name) {
+    return m == nullptr ? GaugeHandle() : m->gauge_handle(name);
+  }
+  static HistogramHandle ResolveHistogram(MetricsRegistry* m,
+                                          const std::string& name) {
+    return m == nullptr ? HistogramHandle() : m->histogram_handle(name);
   }
 
   /// Renders every metric; timeline utilizations are relative to

@@ -7,6 +7,8 @@
 
 namespace mgjoin::obs {
 
+class TelemetrySampler;
+
 /// \brief Non-owning bundle of observability sinks threaded through the
 /// engine layers (net, join, tools, bench).
 ///
@@ -14,11 +16,15 @@ namespace mgjoin::obs {
 /// sink at zero cost. A null auditor tells the component to run its own
 /// default auditor (cheap sampled checks stay on even when nobody wired
 /// observability explicitly); pass an external auditor to observe or
-/// capture violations. All pointees must outlive the component.
+/// capture violations. A non-null telemetry sampler is attached to the
+/// component's simulator and fed link/flow probes (obs/telemetry.h); it
+/// observes from outside the event stream, so wiring one never changes
+/// traces or results. All pointees must outlive the component.
 struct ObsHooks {
   TraceRecorder* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
   InvariantAuditor* auditor = nullptr;
+  TelemetrySampler* telemetry = nullptr;
 };
 
 }  // namespace mgjoin::obs

@@ -389,6 +389,64 @@ std::string CongestionReport::AsciiHeatmap(std::size_t max_rows) const {
   return out;
 }
 
+TimelineAnalytics AnalyzeTimeline(const CongestionReport& congestion,
+                                  double threshold) {
+  TimelineAnalytics out;
+  out.threshold = threshold;
+  const sim::SimTime window = congestion.Window();
+  out.bin_width = window / kHeatmapCols;
+  for (const LinkReport& l : congestion.links) {
+    for (std::size_t b = 0; b < l.profile.size(); ++b) {
+      if (l.profile[b] >= threshold) {
+        out.saturations.push_back(
+            {l.name, b,
+             congestion.window_begin +
+                 static_cast<sim::SimTime>(b) * out.bin_width,
+             l.profile[b]});
+        break;
+      }
+    }
+  }
+  std::sort(out.saturations.begin(), out.saturations.end(),
+            [](const SaturationEvent& a, const SaturationEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.link < b.link;
+            });
+  return out;
+}
+
+std::string TimelineText(const CongestionReport& congestion,
+                         double threshold) {
+  std::string out;
+  AppendFixed(&out,
+              "== timeline (window %.3f-%.3f ms, %zu bins of %.3f ms) ==\n",
+              sim::ToMillis(congestion.window_begin),
+              sim::ToMillis(congestion.window_end), kHeatmapCols,
+              sim::ToMillis(congestion.Window() / kHeatmapCols));
+  if (congestion.links.empty()) {
+    out += "  no link activity in window\n";
+    return out;
+  }
+  out += congestion.AsciiHeatmap();
+  const TimelineAnalytics tl = AnalyzeTimeline(congestion, threshold);
+  AppendFixed(&out, "== time to first saturation (util >= %.0f%%) ==\n",
+              100.0 * threshold);
+  if (!tl.AnySaturation()) {
+    out += "  no link reached the saturation threshold\n";
+    return out;
+  }
+  AppendFixed(&out, "  %-28s %12s %6s\n", "link", "first_sat_ms", "util%");
+  for (const SaturationEvent& s : tl.saturations) {
+    AppendFixed(&out, "  %-28s %12.3f %6.1f\n", s.link.c_str(),
+                sim::ToMillis(s.when), 100.0 * s.utilization);
+  }
+  const SaturationEvent& first = tl.saturations.front();
+  AppendFixed(&out, "  first: %s at %.3f ms (%.3f ms into the window)\n",
+              first.link.c_str(), sim::ToMillis(first.when),
+              sim::ToMillis(first.when - congestion.window_begin));
+  return out;
+}
+
 std::string RunReport::ToText() const {
   std::string out;
   const CriticalPath& cp = critical_path;

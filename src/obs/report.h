@@ -117,6 +117,36 @@ struct CongestionReport {
   std::string AsciiHeatmap(std::size_t max_rows = 12) const;
 };
 
+/// First time a link direction's binned utilization crossed the
+/// saturation threshold (timeline analytics; DESIGN.md Sec 14).
+struct SaturationEvent {
+  std::string link;
+  std::size_t bin = 0;         ///< index into LinkReport::profile
+  sim::SimTime when = 0;       ///< window_begin + bin * bin_width
+  double utilization = 0.0;    ///< that bin's utilization
+};
+
+/// Time-resolved view over a CongestionReport's per-link profiles.
+struct TimelineAnalytics {
+  double threshold = 0.0;      ///< utilization counted as saturated
+  sim::SimTime bin_width = 0;  ///< window / heatmap columns
+  /// One entry per link that ever saturated, ordered by first
+  /// saturation time (ties by name) — front() is the answer to "which
+  /// link saturated first, and when".
+  std::vector<SaturationEvent> saturations;
+
+  bool AnySaturation() const { return !saturations.empty(); }
+};
+
+/// Scans the heatmap profiles for the first bin >= `threshold` per link.
+TimelineAnalytics AnalyzeTimeline(const CongestionReport& congestion,
+                                  double threshold = 0.9);
+
+/// The `mgjoin report --timeline` view: the time × link utilization
+/// heatmap plus a time-to-first-saturation table.
+std::string TimelineText(const CongestionReport& congestion,
+                         double threshold = 0.9);
+
 /// The full analysis of one run's trace slice.
 struct RunReport {
   CriticalPath critical_path;

@@ -11,8 +11,10 @@
 #include "exec/engine.h"
 #include "join/join_types.h"
 #include "join/local_join.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "topo/presets.h"
 
 namespace mgjoin::scenario {
@@ -67,7 +69,8 @@ std::string ScenarioVerdict::ToText() const {
       << " fault_reroutes=" << fault_reroutes
       << " fault_aborts=" << fault_aborts
       << " auditor_violations=" << auditor_violations
-      << " trace_events=" << trace_events << "\n";
+      << " trace_events=" << trace_events
+      << " telemetry_ticks=" << telemetry_ticks << "\n";
   for (const std::string& f : failures) out << "  check failed: " << f << "\n";
   return out.str();
 }
@@ -108,6 +111,8 @@ ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
   v.reference_matches = oracle.matches;
 
   obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  obs::TelemetrySampler telemetry(obs::TelemetrySampler::IntervalFromEnv());
   obs::InvariantAuditor auditor;
   std::vector<std::string> violations;
   auditor.set_failure_handler(
@@ -123,7 +128,12 @@ ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
   opts.join.virtual_scale = spec.virtual_scale;
   opts.join.host_threads = spec.threads;
   opts.join.transfer.obs.trace = &trace;
+  opts.join.transfer.obs.metrics = &metrics;
   opts.join.transfer.obs.auditor = &auditor;
+  // Scenarios always sample: it exercises the determinism contract
+  // (sampling must not perturb the run) on every corpus entry and fuzz
+  // iteration, and the exposition below is verdict-checked.
+  opts.join.transfer.obs.telemetry = &telemetry;
   if (!spec.faults.empty()) {
     // Validation already proved the spec parses.
     opts.join.transfer.faults =
@@ -154,6 +164,9 @@ ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
   v.auditor_violations = violations.size();
   v.trace_events = trace.num_events();
   v.trace_json = trace.ToJson();
+  v.telemetry_ticks = telemetry.ticks();
+  v.telemetry_series = telemetry.series().size();
+  v.openmetrics = obs::OpenMetricsText(&metrics, &telemetry);
 
   // --- Result vs ReferenceJoin oracle. ---
   if (out.stats.matches != oracle.matches) {
@@ -226,6 +239,27 @@ ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
   }
   if (v.sim_total == 0) {
     v.failures.push_back("simulated time did not advance");
+  }
+
+  // --- Telemetry well-formedness + per-flow cross-check. ---
+  if (const Status st = obs::LintOpenMetrics(v.openmetrics); !st.ok()) {
+    v.failures.push_back("openmetrics exposition malformed: " +
+                         st.ToString());
+  }
+  if (out.stats.net.payload_bytes > 0 && telemetry.ticks() == 0) {
+    v.failures.push_back("telemetry took no samples despite traffic");
+  }
+  std::uint64_t flow_total = 0;
+  for (const auto& series : telemetry.series()) {
+    if (series.is_flow && series.metric == "delivered_bytes") {
+      flow_total += series.data.last();
+    }
+  }
+  if (flow_total != out.stats.net.payload_bytes) {
+    v.failures.push_back(
+        "per-flow delivered totals " + std::to_string(flow_total) +
+        " != TransferStats payload_bytes " +
+        std::to_string(out.stats.net.payload_bytes));
   }
 
   v.passed = v.failures.empty();

@@ -20,6 +20,8 @@ namespace mgjoin::scenario {
 ///  - the InvariantAuditor records zero violations,
 ///  - the recorded trace is well-formed: it parses back through the
 ///    report pipeline and its critical path tiles [0, total] exactly,
+///  - the telemetry exposition is well-formed (OpenMetrics lint) and
+///    its per-flow delivered-bytes totals agree with TransferStats,
 ///  - the spec's expect_matches assertion (when present) holds.
 ///
 /// Failures are accumulated, not short-circuited, so one artifact names
@@ -38,8 +40,14 @@ struct ScenarioVerdict {
   std::uint64_t fault_aborts = 0;
   std::uint64_t auditor_violations = 0;
   std::uint64_t trace_events = 0;
+  /// Sampled telemetry snapshots taken (obs/telemetry.h).
+  std::uint64_t telemetry_ticks = 0;
+  /// Sampled time series registered (links, queues, per-flow progress).
+  std::uint64_t telemetry_series = 0;
   /// Chrome trace of the run (artifact payload on failure).
   std::string trace_json;
+  /// OpenMetrics exposition of the run's registry + sampled telemetry.
+  std::string openmetrics;
 
   /// Compact report, e.g. for the CLI and fuzz logs.
   std::string ToText() const;

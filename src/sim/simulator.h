@@ -1,7 +1,9 @@
 #ifndef MGJOIN_SIM_SIMULATOR_H_
 #define MGJOIN_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <utility>
 
 #include "common/logging.h"
@@ -69,6 +71,37 @@ class Simulator {
   /// Number of events processed so far (for tests / sanity checks).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Events currently enqueued (telemetry probe; O(1)).
+  std::size_t queue_size() const {
+    return kind_ == QueueKind::kCalendar ? calendar_.size() : heap_.size();
+  }
+
+  /// \brief Installs a read-only observer fired at every multiple of
+  /// `interval` the clock crosses, *outside* the event stream.
+  ///
+  /// The observer runs between events — it consumes no event-sequence
+  /// number and must not schedule events (checked), so installing one
+  /// cannot perturb event order or timing: a run with an observer is
+  /// byte-identical to one without (the telemetry determinism
+  /// contract). Grid points are elided inside long event-free gaps:
+  /// simulator state is frozen between events, so only the first and
+  /// last grid point of a gap are fired — the skipped points would
+  /// repeat the same values (and a zero-rate-link event parked at
+  /// kSimTimeMax would otherwise mean ~2^40 redundant callbacks).
+  /// A grid point coinciding with an event time fires before that
+  /// event's batch: the observed state is "just before t".
+  void SetObserver(SimTime interval, std::function<void(SimTime)> fn) {
+    MGJ_CHECK(interval > 0) << "observer interval must be positive";
+    observer_interval_ = interval;
+    observer_ = std::move(fn);
+    next_observation_ = (now_ / interval + 1) * interval;
+  }
+
+  void ClearObserver() {
+    observer_ = nullptr;
+    observer_interval_ = 0;
+  }
+
   bool Empty() const {
     return kind_ == QueueKind::kCalendar ? calendar_.Empty()
                                          : heap_.Empty();
@@ -92,11 +125,15 @@ class Simulator {
   }
   template <typename Q>
   SimTime RunLoop(Q& queue, SimTime until, bool bounded);
+  void ObserveUpTo(SimTime t);
 
   QueueKind kind_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  SimTime observer_interval_ = 0;
+  SimTime next_observation_ = 0;
+  std::function<void(SimTime)> observer_;
   // The arena must outlive the queues: EventFns still enqueued at
   // destruction return their blocks to it.
   EventArena arena_;

@@ -5,9 +5,11 @@
 //                [--key-zipf Z] [--packet-kb N] [--scale S]
 //                [--threads N] [--no-compression] [--links]
 //                [--trace=out.json] [--metrics]
+//                [--telemetry=out.om] [--telemetry-csv=out.csv]
+//                [--sample-every=250us]
 //                [--faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
-//   mgjoin report <trace.json>
+//   mgjoin report <trace.json> [--timeline] [--saturation=0.9]
 //   mgjoin scenario list
 //   mgjoin scenario show <name>
 //   mgjoin scenario run  <name|spec-file> [--trace=out.json]
@@ -26,9 +28,21 @@
 // flap at scheduled simulated times, and the engine re-routes around
 // them. Join results stay exact; only the timing changes.
 //
+// `--telemetry=out.om` enables the simulated-clock sampler
+// (obs/telemetry.h) and writes an OpenMetrics exposition of the
+// end-of-run registry plus every sampled time series;
+// `--telemetry-csv=out.csv` writes the sampled series as CSV. The
+// sample interval comes from `--sample-every` (e.g. 250us, 1ms),
+// falling back to MGJ_SAMPLE_EVERY and then 1 ms. Sampling observes
+// from outside the event stream: enabling it never changes the join
+// result or the trace.
+//
 // `mgjoin report trace.json` re-reads a trace written by `--trace` (or
 // by a bench under MGJ_TRACE) and prints the critical-path attribution
-// and per-link congestion report (obs/report.h).
+// and per-link congestion report (obs/report.h). `--timeline` adds the
+// time x link utilization heatmap plus time-to-first-saturation
+// analytics (`--saturation` sets the utilization threshold, default
+// 0.9).
 //
 // `mgjoin scenario` drives the adversarial scenario engine
 // (scenario/scenario.h): `list` names the committed corpus, `show`
@@ -48,8 +62,10 @@
 #include "join/mg_join.h"
 #include "net/fault_plan.h"
 #include "join/umj.h"
+#include "obs/export.h"
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "scenario/corpus.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
@@ -173,10 +189,31 @@ int CmdJoin(const Args& args) {
   }
 
   const std::string trace_path = args.Get("trace", "");
+  const std::string telemetry_path = args.Get("telemetry", "");
+  const std::string telemetry_csv_path = args.Get("telemetry-csv", "");
+  const bool telemetry_on =
+      !telemetry_path.empty() || !telemetry_csv_path.empty();
   obs::TraceRecorder trace;
   obs::MetricsRegistry metrics;
+  sim::SimTime sample_every = obs::TelemetrySampler::IntervalFromEnv();
+  if (args.Has("sample-every")) {
+    auto parsed =
+        obs::TelemetrySampler::ParseInterval(args.Get("sample-every", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --sample-every: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    sample_every = parsed.value();
+  }
+  obs::TelemetrySampler telemetry(sample_every);
   if (!trace_path.empty()) opts.transfer.obs.trace = &trace;
-  if (args.Has("metrics")) opts.transfer.obs.metrics = &metrics;
+  // The OpenMetrics exposition covers the registry too, so --telemetry
+  // implies metrics collection.
+  if (args.Has("metrics") || telemetry_on) {
+    opts.transfer.obs.metrics = &metrics;
+  }
+  if (telemetry_on) opts.transfer.obs.telemetry = &telemetry;
 
   join::MgJoin join(topo.get(), topo::FirstNGpus(g), opts);
   auto res = join.Execute(r, s);
@@ -200,6 +237,28 @@ int CmdJoin(const Args& args) {
   if (args.Has("metrics")) {
     std::printf("---- metrics (window = makespan) ----\n%s",
                 metrics.Summary(out.net.Makespan()).c_str());
+  }
+  if (!telemetry_path.empty()) {
+    const Status st = obs::WriteTextFile(
+        telemetry_path, obs::OpenMetricsText(&metrics, &telemetry));
+    if (!st.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry         %s (%zu series, %zu snapshots)\n",
+                telemetry_path.c_str(), telemetry.series().size(),
+                telemetry.ticks());
+  }
+  if (!telemetry_csv_path.empty()) {
+    const Status st = obs::WriteTextFile(telemetry_csv_path,
+                                         obs::TelemetryCsv(telemetry));
+    if (!st.ok()) {
+      std::fprintf(stderr, "telemetry csv write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry csv     %s\n", telemetry_csv_path.c_str());
   }
   std::printf("policy            %s\n", net::PolicyKindName(opts.policy));
   std::printf("input tuples      %llu (simulated %llu)\n",
@@ -268,9 +327,12 @@ int CmdTpch(const Args& args) {
 
 int CmdReport(int argc, char** argv) {
   if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
-    std::fprintf(stderr, "usage: mgjoin report <trace.json>\n");
+    std::fprintf(stderr,
+                 "usage: mgjoin report <trace.json> [--timeline] "
+                 "[--saturation=0.9]\n");
     return 1;
   }
+  const Args args = ParseArgs(argc, argv, 3);
   std::FILE* f = std::fopen(argv[2], "rb");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", argv[2]);
@@ -293,6 +355,11 @@ int CmdReport(int argc, char** argv) {
   const obs::report::RunReport rep =
       obs::report::BuildRunReport(events.value());
   std::printf("%s", rep.ToText().c_str());
+  if (args.Has("timeline")) {
+    const double threshold = args.GetD("saturation", 0.9);
+    std::printf("%s",
+                obs::report::TimelineText(rep.congestion, threshold).c_str());
+  }
   return 0;
 }
 
@@ -366,12 +433,17 @@ void Usage() {
                "        --threads N (host worker threads; 0 = MGJ_THREADS"
                " env, then hardware)\n"
                "        --trace=out.json --metrics\n"
+               "        --telemetry=out.om --telemetry-csv=out.csv "
+               "--sample-every=250us\n"
                "        --faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms,"
                "flap:nvlink2:@1ms:500usx3\n"
                "  tpch  --query 3|5|10|12|14|19|all --sf F "
                "--virtual-sf F\n"
-               "  report <trace.json>   critical-path + congestion "
-               "analysis of a recorded trace\n"
+               "  report <trace.json> [--timeline] [--saturation=0.9]\n"
+               "        critical-path + congestion analysis of a recorded "
+               "trace;\n"
+               "        --timeline adds the utilization heatmap + "
+               "time-to-first-saturation\n"
                "  scenario list | show <name> | run <name|spec-file> "
                "[--trace=out.json]\n"
                "        invariant-checked adversarial scenario runs "

@@ -18,6 +18,8 @@
 #include "join/local_join.h"
 #include "join/mg_join.h"
 #include "net/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "topo/presets.h"
 
@@ -82,7 +84,8 @@ TEST(DeterminismTest, JoinResultAndTraceInvariantAcrossThreadCounts) {
   ThreadPool::SetDefaultThreads(0);
 }
 
-JoinRun RunFaultedJoin(std::size_t threads) {
+JoinRun RunFaultedJoin(std::size_t threads, bool telemetry = false,
+                       std::uint64_t* telemetry_ticks = nullptr) {
   ThreadPool::SetDefaultThreads(threads);
   data::GenOptions gen;
   gen.tuples_per_relation = 1u << 16;
@@ -103,11 +106,18 @@ JoinRun RunFaultedJoin(std::size_t threads) {
           .ValueOrDie();
   obs::TraceRecorder trace;
   opts.transfer.obs.trace = &trace;
+  obs::MetricsRegistry metrics;
+  obs::TelemetrySampler sampler(250 * sim::kMicrosecond);
+  if (telemetry) {
+    opts.transfer.obs.metrics = &metrics;
+    opts.transfer.obs.telemetry = &sampler;
+  }
   join::MgJoin join(topo.get(), topo::FirstNGpus(8), opts);
 
   JoinRun run;
   run.result = join.Execute(r, s).ValueOrDie();
   run.trace_json = trace.ToJson();
+  if (telemetry_ticks != nullptr) *telemetry_ticks = sampler.ticks();
   return run;
 }
 
@@ -131,6 +141,37 @@ TEST(DeterminismTest, FaultedRunInvariantAcrossThreadCounts) {
   ASSERT_EQ(run.result.pairs.size(), base.result.pairs.size());
   EXPECT_TRUE(run.result.pairs == base.result.pairs);
   EXPECT_EQ(run.trace_json, base.trace_json);
+  ThreadPool::SetDefaultThreads(0);
+}
+
+TEST(DeterminismTest, TelemetrySamplingDoesNotPerturbTheRun) {
+  // The sampler is an observer outside the event-sequence stream
+  // (DESIGN.md Sec 14): enabling it on a faulted adaptive run must not
+  // change the join result by one tuple or the core trace by one byte,
+  // at any thread count.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const JoinRun plain = RunFaultedJoin(threads, /*telemetry=*/false);
+    std::uint64_t ticks = 0;
+    const JoinRun sampled =
+        RunFaultedJoin(threads, /*telemetry=*/true, &ticks);
+    EXPECT_GT(ticks, 0u) << "sampler never fired; shrink the interval";
+    EXPECT_EQ(sampled.result.matches, plain.result.matches) << threads;
+    EXPECT_EQ(sampled.result.checksum, plain.result.checksum) << threads;
+    EXPECT_EQ(sampled.result.shuffled_bytes, plain.result.shuffled_bytes)
+        << threads;
+    EXPECT_EQ(sampled.result.timing.total, plain.result.timing.total)
+        << threads;
+    EXPECT_EQ(sampled.result.net.fault_reroutes,
+              plain.result.net.fault_reroutes)
+        << threads;
+    EXPECT_EQ(sampled.result.net.fault_aborts,
+              plain.result.net.fault_aborts)
+        << threads;
+    ASSERT_EQ(sampled.result.pairs.size(), plain.result.pairs.size())
+        << threads;
+    EXPECT_TRUE(sampled.result.pairs == plain.result.pairs) << threads;
+    EXPECT_EQ(sampled.trace_json, plain.trace_json) << threads;
+  }
   ThreadPool::SetDefaultThreads(0);
 }
 

@@ -228,7 +228,7 @@ EngineRun RunFlows(PolicyKind kind, const std::vector<int>& gpus,
 TEST(TransferEngineTest, DeliversSingleFlowExactly) {
   const std::uint64_t bytes = 37 * kMiB + 12345;  // non-multiple of packet
   auto run = RunFlows(PolicyKind::kAdaptive, {0, 1, 2, 3},
-                      {Flow{1, 0, 1, bytes, 0, 0.0}});
+                      {Flow{1, 0, 1, bytes, 0, 0.0, {}}});
   EXPECT_EQ(run.stats.payload_bytes, bytes);
   EXPECT_EQ(run.delivered_per_flow[1], bytes);
   EXPECT_GT(run.stats.Makespan(), 0u);
@@ -241,7 +241,7 @@ TEST(TransferEngineTest, ConservationAcrossManyFlows) {
     for (int d = 0; d < 8; ++d) {
       if (s == d) continue;
       const std::uint64_t b = 8 * kMiB + s * 1000 + d;
-      flows.push_back(Flow{id++, s, d, b, 0, 0.0});
+      flows.push_back(Flow{id++, s, d, b, 0, 0.0, {}});
       total += b;
     }
   }
@@ -257,7 +257,7 @@ TEST(TransferEngineTest, AllPoliciesDeliverEverything) {
   std::uint64_t id = 0;
   for (int s = 0; s < 4; ++s) {
     for (int d = 0; d < 4; ++d) {
-      if (s != d) flows.push_back(Flow{id++, s, d, 16 * kMiB, 0, 0.0});
+      if (s != d) flows.push_back(Flow{id++, s, d, 16 * kMiB, 0, 0.0, {}});
     }
   }
   for (PolicyKind kind :
@@ -279,7 +279,7 @@ TEST(TransferEngineTest, MultiHopBeatsDirectOnCongestedStagedPairs) {
   const std::vector<int> gpus{0, 1, 4, 5};
   for (int s : gpus) {
     for (int d : gpus) {
-      if (s != d) flows.push_back(Flow{id++, s, d, 256 * kMiB, 0, 0.0});
+      if (s != d) flows.push_back(Flow{id++, s, d, 256 * kMiB, 0, 0.0, {}});
     }
   }
   auto direct = RunFlows(PolicyKind::kDirect, gpus, flows);
@@ -292,14 +292,14 @@ TEST(TransferEngineTest, PacketsNeverExceedConfiguredSize) {
   TransferOptions opts;
   opts.packet_bytes = 1 * kMiB;
   auto run = RunFlows(PolicyKind::kAdaptive, {0, 1},
-                      {Flow{0, 0, 1, 10 * kMiB + 7, 0, 0.0}}, opts);
+                      {Flow{0, 0, 1, 10 * kMiB + 7, 0, 0.0, {}}}, opts);
   EXPECT_EQ(run.stats.packets, 11u);  // 10 full + 1 tail
 }
 
 TEST(TransferEngineTest, ProgressiveGenerationDelaysCompletion) {
   // Producing at ~5 GB/s must stretch the distribution versus all-at-0.
-  Flow eager{0, 0, 1, 512 * kMiB, 0, 0.0};
-  Flow paced{0, 0, 1, 512 * kMiB, 0, 5.0 * kGBps};
+  Flow eager{0, 0, 1, 512 * kMiB, 0, 0.0, {}};
+  Flow paced{0, 0, 1, 512 * kMiB, 0, 5.0 * kGBps, {}};
   auto fast = RunFlows(PolicyKind::kAdaptive, {0, 1}, {eager});
   auto slow = RunFlows(PolicyKind::kAdaptive, {0, 1}, {paced});
   EXPECT_GT(slow.stats.last_delivery, fast.stats.last_delivery);
@@ -311,7 +311,7 @@ TEST(TransferEngineTest, CentralizedPaysControlOverhead) {
   std::uint64_t id = 0;
   for (int s = 0; s < 4; ++s) {
     for (int d = 0; d < 4; ++d) {
-      if (s != d) flows.push_back(Flow{id++, s, d, 64 * kMiB, 0, 0.0});
+      if (s != d) flows.push_back(Flow{id++, s, d, 64 * kMiB, 0, 0.0, {}});
     }
   }
   auto central =
@@ -334,7 +334,7 @@ TEST(TransferEngineTest, TinyRingBufferStillCompletes) {
   std::uint64_t id = 0;
   for (int s = 0; s < 8; ++s) {
     for (int d = 0; d < 8; ++d) {
-      if (s != d) flows.push_back(Flow{id++, s, d, 32 * kMiB, 0, 0.0});
+      if (s != d) flows.push_back(Flow{id++, s, d, 32 * kMiB, 0, 0.0, {}});
     }
   }
   auto run =
@@ -356,7 +356,7 @@ TEST(TransferEngineTest, DeadlockRegressionEscapeValveFires) {
   std::uint64_t id = 0;
   for (int s = 0; s < 8; ++s) {
     for (int d = 0; d < 8; ++d) {
-      if (s != d) flows.push_back(Flow{id++, s, d, 32 * kMiB, 0, 0.0});
+      if (s != d) flows.push_back(Flow{id++, s, d, 32 * kMiB, 0, 0.0, {}});
     }
   }
   auto run =
@@ -395,7 +395,7 @@ TEST(TransferStatsTest, DirectTrafficHasZeroIntermediateHops) {
 }
 
 TEST(TransferEngineTest, WireBytesAtLeastPayload) {
-  std::vector<Flow> flows{{0, 0, 7, 64 * kMiB, 0, 0.0}};
+  std::vector<Flow> flows{{0, 0, 7, 64 * kMiB, 0, 0.0, {}}};
   auto run = RunFlows(PolicyKind::kAdaptive, topo::FirstNGpus(8), flows);
   // Multi-hop traffic traverses more wire than payload delivered.
   EXPECT_GE(run.stats.wire_bytes, run.stats.payload_bytes);
@@ -406,7 +406,7 @@ TEST(TransferEngineTest, UtilizationReportListsBusyLinks) {
   auto topo = MakeDgx1V();
   auto policy = MakePolicy(PolicyKind::kAdaptive);
   TransferEngine eng(&s, topo.get(), {0, 1}, policy.get(), {});
-  eng.AddFlow(Flow{0, 0, 1, 64 * kMiB, 0, 0.0});
+  eng.AddFlow(Flow{0, 0, 1, 64 * kMiB, 0, 0.0, {}});
   eng.Start();
   s.Run();
   const std::string report = eng.links().UtilizationReport(
@@ -427,7 +427,7 @@ TEST(TransferEngineTest, Dgx2SixteenGpuAllToAllCompletes) {
   for (int a = 0; a < 16; ++a) {
     for (int b = 0; b < 16; ++b) {
       if (a == b) continue;
-      eng.AddFlow(Flow{id++, a, b, 8 * kMiB, 0, 0.0});
+      eng.AddFlow(Flow{id++, a, b, 8 * kMiB, 0, 0.0, {}});
       total += 8 * kMiB;
     }
   }
@@ -440,7 +440,7 @@ TEST(TransferEngineTest, Dgx2SixteenGpuAllToAllCompletes) {
 
 TEST(TransferEngineTest, ThroughputSaneForSingleNvLinkFlow) {
   auto run = RunFlows(PolicyKind::kDirect, {0, 1},
-                      {Flow{0, 0, 1, 1 * kGiB, 0, 0.0}});
+                      {Flow{0, 0, 1, 1 * kGiB, 0, 0.0, {}}});
   const double gbps = run.stats.Throughput() / kGBps;
   // One NV1 link at 2 MiB packets: ~22 GB/s effective, minus batch
   // overheads; with 2 DMA engines the link stays saturated.

@@ -290,7 +290,7 @@ net::TransferStats RunShuffle(ObsHooks hooks, int g = 4,
   for (int a = 0; a < g; ++a) {
     for (int b = 0; b < g; ++b) {
       if (a == b) continue;
-      eng.AddFlow(net::Flow{id++, a, b, 8 * kMiB + a * 64 + b, 0, 0.0});
+      eng.AddFlow(net::Flow{id++, a, b, 8 * kMiB + a * 64 + b, 0, 0.0, {}});
     }
   }
   eng.Start();
@@ -482,6 +482,116 @@ TEST(MetricsTest, TimelineBinsBusyTime) {
   EXPECT_LE(tl.Sparkline(2).size(), 2u);
 }
 
+TEST(MetricsTest, HistogramEmptyIsFullyGuarded) {
+  // Regression: every accessor of an empty histogram must return a
+  // defined value (0), not read past empty buckets or divide by zero.
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.P95(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+  // Out-of-range q is clamped, not UB — still 0 when empty.
+  EXPECT_EQ(h.ValueAtQuantile(-3.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(7.5), 0u);
+  EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(MetricsTest, HandlesTouchTheSameMetricAsNames) {
+  MetricsRegistry reg;
+  CounterHandle c = reg.counter_handle("net.payload_bytes");
+  GaugeHandle g = reg.gauge_handle("net.ring_occupancy");
+  HistogramHandle h = reg.histogram_handle("net.batch_packets");
+  EXPECT_TRUE(static_cast<bool>(c));
+  c.Add(64);
+  c.Add(36);
+  g.Set(9);
+  h.Observe(7);
+  EXPECT_EQ(reg.counter("net.payload_bytes").value(), 100u);
+  EXPECT_EQ(reg.gauge("net.ring_occupancy").value(), 9u);
+  EXPECT_EQ(reg.histogram("net.batch_packets").count(), 1u);
+  // Handles alias the registry nodes: later by-name touches are visible
+  // through previously resolved handles (std::map nodes never move).
+  reg.counter("net.payload_bytes").Add(1);
+  c.Add(1);
+  EXPECT_EQ(reg.counter("net.payload_bytes").value(), 102u);
+}
+
+TEST(MetricsTest, EmptyHandlesAreInertNoOps) {
+  // Resolve against a null registry (metrics disabled): every touch
+  // must be a safe no-op, so hot paths need no branching.
+  CounterHandle c =
+      MetricsRegistry::ResolveCounter(nullptr, "net.payload_bytes");
+  GaugeHandle g =
+      MetricsRegistry::ResolveGauge(nullptr, "net.ring_occupancy");
+  HistogramHandle h =
+      MetricsRegistry::ResolveHistogram(nullptr, "net.batch_packets");
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_FALSE(static_cast<bool>(h));
+  c.Add(64);
+  g.Set(9);
+  h.Observe(7);  // must not crash
+  CounterHandle def;
+  def.Add(1);
+  EXPECT_FALSE(static_cast<bool>(def));
+}
+
+TEST(MetricsTest, TimelineEmptyProfileAndSparkline) {
+  const Timeline tl;
+  EXPECT_EQ(tl.busy(), 0u);
+  EXPECT_EQ(tl.last_end(), 0u);
+  EXPECT_DOUBLE_EQ(tl.Utilization(0), 0.0);  // zero window guarded
+  EXPECT_DOUBLE_EQ(tl.Utilization(sim::kMillisecond), 0.0);
+  EXPECT_TRUE(tl.Profile().empty());
+  EXPECT_EQ(tl.Sparkline(), "");
+  EXPECT_EQ(tl.Sparkline(0), "");  // zero columns guarded
+}
+
+TEST(MetricsTest, TimelineSingleBinAndZeroWidthIntervals) {
+  Timeline tl;  // 1 ms bins
+  tl.AddBusy(100, 100);  // zero-width: ignored
+  tl.AddBusy(200, 100);  // reversed: ignored
+  EXPECT_EQ(tl.busy(), 0u);
+  tl.AddBusy(250 * sim::kMicrosecond, 750 * sim::kMicrosecond);
+  ASSERT_EQ(tl.Profile().size(), 1u);
+  EXPECT_DOUBLE_EQ(tl.Profile()[0], 0.5);
+  EXPECT_EQ(tl.Sparkline(), "5");
+}
+
+TEST(MetricsTest, TimelineExactBinBoundaries) {
+  Timeline tl;  // 1 ms bins
+  // [1 ms, 2 ms) lands wholly in bin 1: a busy interval ending exactly
+  // on a bin edge must not bleed into the next bin.
+  tl.AddBusy(sim::kMillisecond, 2 * sim::kMillisecond);
+  const auto profile = tl.Profile();
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile[0], 0.0);
+  EXPECT_DOUBLE_EQ(profile[1], 1.0);
+  EXPECT_EQ(tl.Sparkline(), "0X");
+}
+
+TEST(MetricsTest, TimelineAcceptsNonMonotoneIntervals) {
+  // Reservations land out of order (adaptive rerouting books future
+  // slots, then earlier ones); accumulation must not depend on order.
+  Timeline fwd;
+  fwd.AddBusy(0, sim::kMillisecond);
+  fwd.AddBusy(2 * sim::kMillisecond, 3 * sim::kMillisecond);
+  Timeline rev;
+  rev.AddBusy(2 * sim::kMillisecond, 3 * sim::kMillisecond);
+  rev.AddBusy(0, sim::kMillisecond);
+  EXPECT_EQ(fwd.busy(), rev.busy());
+  EXPECT_EQ(fwd.last_end(), rev.last_end());
+  EXPECT_EQ(fwd.Profile(), rev.Profile());
+  EXPECT_EQ(fwd.Sparkline(), rev.Sparkline());
+  EXPECT_EQ(fwd.Sparkline(), "X0X");
+}
+
 TEST(MetricsTest, ShuffleCountersMatchTransferStats) {
   MetricsRegistry reg;
   const net::TransferStats stats = RunShuffle({.metrics = &reg});
@@ -521,7 +631,7 @@ TEST(AuditTest, HealthyEngineRunPassesAllChecks) {
   std::uint64_t id = 0;
   for (int a = 0; a < 4; ++a) {
     for (int b = 0; b < 4; ++b) {
-      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 16 * kMiB, 0, 0.0});
+      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 16 * kMiB, 0, 0.0, {}});
     }
   }
   eng.Start();
@@ -543,7 +653,7 @@ TEST(AuditTest, DetectsInjectedRingOverclaim) {
   std::vector<std::string> failures;
   eng.auditor().set_failure_handler(
       [&failures](const std::string& m) { failures.push_back(m); });
-  eng.AddFlow(net::Flow{0, 0, 1, 16 * kMiB, 0, 0.0});
+  eng.AddFlow(net::Flow{0, 0, 1, 16 * kMiB, 0, 0.0, {}});
   eng.Start();
   s.Run();
   ASSERT_TRUE(eng.AllDone());

@@ -237,6 +237,92 @@ TEST(ReportTest, FaultAdjustsAvailabilityAndPeak) {
 }
 
 // ---------------------------------------------------------------------------
+// Timeline analytics (mgjoin report --timeline).
+
+TEST(ReportTest, SummarizeEmptySampleSetIsZero) {
+  std::vector<std::uint64_t> none;
+  const report::DelaySummary s = report::Summarize(&none);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.p99, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(ReportTest, AnalyzeTimelineFindsFirstSaturationPerLink) {
+  report::CongestionReport cong;
+  cong.window_begin = sim::kMillisecond;
+  // Bin width is window / 48 heatmap columns; a 48 ms window makes each
+  // bin exactly 1 ms (profiles shorter than 48 bins are fine).
+  cong.window_end = cong.window_begin + 48 * sim::kMillisecond;
+  report::LinkReport early;
+  early.name = "link.A.fwd";
+  early.profile = {0.2, 0.95, 0.3, 0.1};
+  report::LinkReport late;
+  late.name = "link.B.rev";
+  late.profile = {0.0, 0.0, 0.0, 1.0};
+  report::LinkReport never;
+  never.name = "link.C.fwd";
+  never.profile = {0.5, 0.5, 0.5, 0.5};
+  cong.links = {late, early, never};  // rank order != saturation order
+
+  const report::TimelineAnalytics tl = report::AnalyzeTimeline(cong, 0.9);
+  EXPECT_EQ(tl.bin_width, sim::kMillisecond);
+  ASSERT_TRUE(tl.AnySaturation());
+  ASSERT_EQ(tl.saturations.size(), 2u);  // link.C never crosses 0.9
+  // Ordered by first saturation time: A saturates in bin 1, B in bin 3.
+  EXPECT_EQ(tl.saturations[0].link, "link.A.fwd");
+  EXPECT_EQ(tl.saturations[0].bin, 1u);
+  EXPECT_EQ(tl.saturations[0].when, cong.window_begin + sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(tl.saturations[0].utilization, 0.95);
+  EXPECT_EQ(tl.saturations[1].link, "link.B.rev");
+  EXPECT_EQ(tl.saturations[1].bin, 3u);
+
+  // A lower threshold pulls link.C in.
+  const report::TimelineAnalytics all = report::AnalyzeTimeline(cong, 0.5);
+  EXPECT_EQ(all.saturations.size(), 3u);
+
+  const std::string text = report::TimelineText(cong, 0.9);
+  EXPECT_NE(text.find("link.A.fwd"), std::string::npos);
+  EXPECT_NE(text.find("first: link.A.fwd"), std::string::npos);
+}
+
+TEST(ReportTest, TimelineTextHandlesEmptyAndUnsaturatedWindows) {
+  const report::CongestionReport empty;
+  const std::string none = report::TimelineText(empty);
+  EXPECT_NE(none.find("no link activity"), std::string::npos);
+  EXPECT_FALSE(report::AnalyzeTimeline(empty).AnySaturation());
+
+  report::CongestionReport idle;
+  idle.window_end = 2 * sim::kMillisecond;
+  report::LinkReport l;
+  l.name = "link.A.fwd";
+  l.profile = {0.1, 0.2};
+  idle.links = {l};
+  const std::string text = report::TimelineText(idle, 0.9);
+  EXPECT_NE(text.find("no link reached the saturation threshold"),
+            std::string::npos);
+}
+
+TEST(ReportTest, TimelineTextOnRealRunShowsHeatmapAndSaturation) {
+  auto run = RunJoinWithTrace(true);
+  const report::RunReport rep =
+      report::BuildRunReport(run->trace.ExportEvents());
+  const std::string text = report::TimelineText(rep.congestion);
+  // The heatmap block and the TTFS table header both render.
+  EXPECT_NE(text.find("link."), std::string::npos);
+  EXPECT_NE(text.find("first_sat_ms"), std::string::npos);
+  // Analytics agree with a manual scan of the busiest link's profile.
+  const report::TimelineAnalytics tl =
+      report::AnalyzeTimeline(rep.congestion, 0.9);
+  for (const report::SaturationEvent& ev : tl.saturations) {
+    EXPECT_GE(ev.utilization, 0.9);
+    EXPECT_GE(ev.when, rep.congestion.window_begin);
+    EXPECT_LT(ev.when, rep.congestion.window_end);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Determinism: identical runs produce byte-identical reports and bench
 // documents (modulo the wall-time and git-commit lines).
 

@@ -359,7 +359,7 @@ std::pair<std::string, std::uint64_t> TracedAdaptiveRun(
   std::uint64_t id = 0;
   for (int a = 0; a < 8; ++a) {
     for (int b = 0; b < 8; ++b) {
-      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 16 * kMiB + a + b, 0, 0.0});
+      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 16 * kMiB + a + b, 0, 0.0, {}});
     }
   }
   eng.Start();
