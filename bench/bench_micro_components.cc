@@ -441,7 +441,7 @@ ShuffleResult RunShuffleWorkload(const topo::Topology* topo,
   std::uint64_t id = 0;
   for (int a = 0; a < 8; ++a) {
     for (int b = 0; b < 8; ++b) {
-      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 4 * kMiB, 0, 0.0, {}});
+      if (a != b) eng.AddFlow(net::Flow{id++, a, b, 4 * kMiB, 0, 0.0, 0, {}});
     }
   }
   eng.Start();

@@ -369,7 +369,7 @@ inline std::vector<net::Flow> ShuffleFlows(const std::vector<int>& gpus,
       if (i == j) continue;
       flows.push_back(net::Flow{id++, gpus[i], gpus[j],
                                 held[i] / static_cast<std::uint64_t>(g),
-                                0, 0.0, {}});
+                                0, 0.0, 0, {}});
     }
   }
   return flows;

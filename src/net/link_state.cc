@@ -9,6 +9,31 @@
 
 namespace mgjoin::net {
 
+std::string ArbitrationKindName(ArbitrationKind kind) {
+  switch (kind) {
+    case ArbitrationKind::kFifo:
+      return "fifo";
+    case ArbitrationKind::kFairShare:
+      return "fair";
+    case ArbitrationKind::kPriority:
+      return "priority";
+  }
+  return "fifo";
+}
+
+bool ParseArbitration(const std::string& text, ArbitrationKind* out) {
+  if (text == "fifo") {
+    *out = ArbitrationKind::kFifo;
+  } else if (text == "fair") {
+    *out = ArbitrationKind::kFairShare;
+  } else if (text == "priority") {
+    *out = ArbitrationKind::kPriority;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 LinkStateTable::LinkStateTable(sim::Simulator* sim,
                                const topo::Topology* topo,
                                obs::ObsHooks hooks)
@@ -19,6 +44,8 @@ LinkStateTable::LinkStateTable(sim::Simulator* sim,
   publish_pending_.assign(dirs, 0);
   busy_.assign(dirs, 0);
   bytes_.assign(dirs, 0);
+  fair_active_.assign(dirs, 0);
+  prio_active_.assign(dirs * kPriorityClasses, 0);
   dir_tracks_.assign(dirs, -1);
   dir_timelines_.assign(dirs, nullptr);
   avail_.Reset(topo->num_links());
@@ -85,8 +112,48 @@ void LinkStateTable::RecordLeg(topo::LinkDir ld, sim::SimTime start,
 
 sim::SimTime LinkStateTable::Now() const { return sim_->Now(); }
 
+void LinkStateTable::RegisterQuery(std::uint64_t query_id, int priority) {
+  const int clamped = std::clamp(priority, 0, kPriorityClasses - 1);
+  auto [it, fresh] = query_arb_.try_emplace(query_id);
+  it->second.priority = clamped;
+  if (!fresh) return;
+  if (free_arb_slots_.empty()) {
+    it->second.slot = static_cast<int>(fair_next_.size());
+    fair_next_.emplace_back(next_free_.size(), 0);
+    fair_touched_.emplace_back(next_free_.size(), 0);
+  } else {
+    it->second.slot = free_arb_slots_.back();
+    free_arb_slots_.pop_back();
+    // Recycled slot: a fresh tenant starts with no virtual-time debt
+    // and counts toward no direction until it actually reserves one.
+    std::fill(fair_next_[it->second.slot].begin(),
+              fair_next_[it->second.slot].end(), sim::SimTime{0});
+    std::fill(fair_touched_[it->second.slot].begin(),
+              fair_touched_[it->second.slot].end(), std::uint64_t{0});
+  }
+}
+
+void LinkStateTable::UnregisterQuery(std::uint64_t query_id) {
+  auto it = query_arb_.find(query_id);
+  if (it == query_arb_.end()) return;
+  // Deduct the tenant from every direction it touched: survivors must
+  // not keep paying a departed competitor's share, and a lower class
+  // must not stay throttled by a finished higher one.
+  const std::vector<std::uint64_t>& touched =
+      fair_touched_[it->second.slot];
+  for (std::size_t di = 0; di < touched.size(); ++di) {
+    if (touched[di] == 0) continue;
+    if (fair_active_[di] > 0) --fair_active_[di];
+    int& by_class =
+        prio_active_[di * kPriorityClasses + it->second.priority];
+    if (by_class > 0) --by_class;
+  }
+  free_arb_slots_.push_back(it->second.slot);
+  query_arb_.erase(it);
+}
+
 LinkStateTable::Reservation LinkStateTable::ReserveChannel(
-    const topo::Channel& ch, std::uint64_t bytes) {
+    const topo::Channel& ch, std::uint64_t bytes, std::uint64_t query_id) {
   const sim::SimTime now = sim_->Now();
   // Admission control lives in the transfer engine; by the time a
   // channel is reserved every link must be up. (A link dying *after*
@@ -102,6 +169,14 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
   // neither holds the other legs hostage nor leaves them idle. The
   // source engine is released when the first leg has drained the source
   // memory; the packet is delivered when the slowest leg finishes.
+  // FIFO needs no lookup; under the tenant policies an unregistered id
+  // (or kNoQuery) degrades to FIFO ordering for that reservation.
+  const QueryArb* qa = nullptr;
+  if (arbitration_ != ArbitrationKind::kFifo && query_id != kNoQuery) {
+    const auto it = query_arb_.find(query_id);
+    if (it != query_arb_.end()) qa = &it->second;
+  }
+
   sim::SimTime first_leg_end = 0;
   sim::SimTime last_end = 0;
   sim::SimTime start = now;
@@ -112,6 +187,48 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
     const sim::SimTime d = sim::TransferTime(bytes, bw);
     const std::size_t di = Index(ld);
     const sim::SimTime leg_start = std::max(now, next_free_[di]);
+    if (qa != nullptr && i == 0) {
+      // Tenant arbitration paces the *source*, not the wire: wire
+      // occupancy stays strictly FIFO (work-conserving — no leg is
+      // ever delayed into a gap nobody else can fill). Each packet
+      // advances the tenant's per-direction virtual clock by a
+      // policy-defined charge; the transfer engine consults
+      // QueryReleaseTime before forming the next batch of that query,
+      // which closes the feedback loop and keeps the clock from
+      // running away. Debt persists across wire gaps — an interleaved
+      // all-to-all leaves 1-tick gaps between batches on every
+      // direction, and voiding debt on drain would erase every charge
+      // before it bites. Work conservation is the gate's job instead:
+      // QueryReleaseTime never paces past the wire horizon, so clocks
+      // that outrun real time only defer a tenant while competitors
+      // are actually using the slot.
+      std::uint64_t& seen = fair_touched_[qa->slot][di];
+      if (seen == 0) {
+        seen = 1;
+        ++fair_active_[di];
+        ++prio_active_[di * kPriorityClasses + qa->priority];
+      }
+      sim::SimTime n = 1;
+      if (arbitration_ == ArbitrationKind::kFairShare) {
+        // Charge (live competitors) * service time per packet: each
+        // tenant's injection rate converges to a 1/n split of its
+        // first hop while the direction stays contended.
+        n = static_cast<sim::SimTime>(std::max(1, fair_active_[di]));
+      } else if (arbitration_ == ArbitrationKind::kPriority) {
+        // Strict (non-preemptive) priority: a tenant with live
+        // higher-class competition is charged kPriorityWeight service
+        // times per higher-class tenant, throttling lower classes to a
+        // trickle while any higher class is sending; the top class —
+        // and any class running alone — pays the FIFO charge.
+        int higher = 0;
+        for (int c = qa->priority + 1; c < kPriorityClasses; ++c) {
+          higher += prio_active_[di * kPriorityClasses + c];
+        }
+        n = 1 + kPriorityWeight * static_cast<sim::SimTime>(higher);
+      }
+      sim::SimTime& clock = fair_next_[qa->slot][di];
+      clock = std::max(clock, leg_start) + d * n;
+    }
     const sim::SimTime leg_end = leg_start + d;
     next_free_[di] = leg_end;
     busy_[di] += d;
@@ -126,6 +243,40 @@ LinkStateTable::Reservation LinkStateTable::ReserveChannel(
   }
   return Reservation{start, first_leg_end,
                      last_end + topo_->ChannelLatency(ch)};
+}
+
+sim::SimTime LinkStateTable::QueryReleaseTime(std::uint64_t query_id,
+                                              topo::LinkDir ld) const {
+  if (arbitration_ == ArbitrationKind::kFifo || query_id == kNoQuery) {
+    return 0;
+  }
+  const auto it = query_arb_.find(query_id);
+  if (it == query_arb_.end()) return 0;
+  const std::size_t di = Index(ld);
+  // A tenant that never reserved on the direction has no debt there.
+  if (fair_touched_[it->second.slot][di] == 0) return 0;
+  // Work conservation, part 1: a tenant with no live competition
+  // (fair-share) or none of strictly higher class (priority) is never
+  // paced — debt only delays a packet that a competitor could use the
+  // slot for, and competitor counts drop the moment a query's last
+  // byte lands (UnregisterQuery).
+  if (arbitration_ == ArbitrationKind::kFairShare) {
+    if (fair_active_[di] <= 1) return 0;
+  } else {
+    int higher = 0;
+    for (int c = it->second.priority + 1; c < kPriorityClasses; ++c) {
+      higher += prio_active_[di * kPriorityClasses + c];
+    }
+    if (higher == 0) return 0;
+  }
+  // Work conservation, part 2: cap the pace at one tick past the wire
+  // horizon. A paced tenant re-checks just after the wire would drain;
+  // if competitors kept it busy the horizon has moved and the debt
+  // still holds, if they went quiet the gate opens and the link never
+  // sits idle while this tenant has traffic. The debt itself is NOT
+  // voided by an idle wire — capacity a tenant soaks up through gaps
+  // stays on its clock, which is what keeps long-run shares fair.
+  return std::min(fair_next_[it->second.slot][di], next_free_[di] + 1);
 }
 
 double LinkStateTable::links_eff_bw_(topo::LinkDir ld,

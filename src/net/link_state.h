@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,31 @@
 #include "topo/topology.h"
 
 namespace mgjoin::net {
+
+/// How concurrent queries competing for the same link direction are
+/// ordered (multi-tenant service, DESIGN.md Sec 15). All policies are
+/// work-conserving on the wire itself: a reservation always occupies the
+/// link back-to-back once admitted; arbitration only decides how early a
+/// query's next leg may start.
+enum class ArbitrationKind {
+  /// First-come-first-served in simulated-event order (the single-query
+  /// behaviour; byte-identical to the pre-arbitration engine).
+  kFifo,
+  /// Fair share by active query: each registered query accrues virtual
+  /// time at `active_queries` times its service time per leg, so N
+  /// backlogged queries each see ~1/N of a contended direction.
+  kFairShare,
+  /// Strict (non-preemptive) priority: a leg of class p never starts
+  /// before every already-reserved leg of a higher class on that
+  /// direction has ended. In-flight lower-class legs are not revoked.
+  kPriority,
+};
+
+/// "fifo" | "fair" | "priority".
+std::string ArbitrationKindName(ArbitrationKind kind);
+
+/// Parses ArbitrationKindName's vocabulary; false on unknown input.
+bool ParseArbitration(const std::string& text, ArbitrationKind* out);
 
 /// \brief Tracks the occupancy of every physical link direction and the
 /// congestion view that routing policies may read.
@@ -40,6 +66,20 @@ class LinkStateTable {
   LinkStateTable(sim::Simulator* sim, const topo::Topology* topo,
                  obs::ObsHooks hooks = {});
 
+  /// Sentinel for reservations with no query attribution: arbitration
+  /// treats them as FIFO traffic regardless of the active policy.
+  static constexpr std::uint64_t kNoQuery = ~0ull;
+
+  /// Number of strict-priority classes; Flow::priority is clamped to
+  /// [0, kPriorityClasses).
+  static constexpr int kPriorityClasses = 8;
+
+  /// Under kPriority, each live higher-class tenant on the direction
+  /// multiplies a lower-class tenant's per-packet charge by this
+  /// factor — lower classes trickle at ~1/(1+W*higher) of the wire
+  /// while any higher class is sending.
+  static constexpr int kPriorityWeight = 16;
+
   /// \brief Reserves every physical link of `ch` for one transfer of
   /// `bytes`, no earlier than the simulator's current time.
   ///
@@ -47,7 +87,52 @@ class LinkStateTable {
   /// transfers are tiled and pipelined by the driver (Sec 2.2), so the
   /// channel behaves as one pipe at the bottleneck link's effective
   /// bandwidth. Delivery adds the channel's static latency.
-  Reservation ReserveChannel(const topo::Channel& ch, std::uint64_t bytes);
+  ///
+  /// `query_id` selects the arbitration bucket under non-FIFO policies;
+  /// unregistered ids (and kNoQuery) fall back to FIFO ordering.
+  Reservation ReserveChannel(const topo::Channel& ch, std::uint64_t bytes,
+                             std::uint64_t query_id);
+  Reservation ReserveChannel(const topo::Channel& ch, std::uint64_t bytes) {
+    return ReserveChannel(ch, bytes, kNoQuery);
+  }
+
+  /// \brief Earliest simulated time `query_id` may inject another
+  /// packet onto direction `ld` under the active arbitration policy
+  /// (0 = unconstrained).
+  ///
+  /// The transfer engine consults this before forming a batch whose
+  /// first hop enters `ld`; the wire itself is never delayed (occupancy
+  /// stays FIFO), only the tenant's injection is. FIFO arbitration,
+  /// unregistered tenants and tenants without live competition (none
+  /// under fair-share, none of strictly higher class under priority)
+  /// are never paced, and the returned time never exceeds one tick
+  /// past the wire horizon — an idle direction always re-opens, so
+  /// pacing cannot strand capacity.
+  sim::SimTime QueryReleaseTime(std::uint64_t query_id,
+                                topo::LinkDir ld) const;
+
+  /// Selects the arbitration policy. Call before traffic flows; kFifo
+  /// (the default) touches no arbitration state at all.
+  void set_arbitration(ArbitrationKind kind) { arbitration_ = kind; }
+  ArbitrationKind arbitration() const { return arbitration_; }
+
+  /// \brief Marks `query_id` as an active tenant for arbitration
+  /// accounting (idempotent; re-registering updates the priority).
+  ///
+  /// Fair-share slots are recycled LIFO so a long-running service keeps
+  /// its per-query state bounded by the in-flight limit, not by the
+  /// total query count. Re-register before the tenant's first flow to
+  /// change its priority: per-class competitor counts are keyed by the
+  /// class at first touch, so a later change misattributes them.
+  void RegisterQuery(std::uint64_t query_id, int priority = 0);
+
+  /// Ends `query_id`'s tenancy (no-op when unknown). Completed queries
+  /// must deregister under kFairShare: a stale active count would keep
+  /// inflating the virtual-time penalty of the surviving tenants.
+  void UnregisterQuery(std::uint64_t query_id);
+
+  /// Currently registered tenants.
+  int active_queries() const { return static_cast<int>(query_arb_.size()); }
 
   /// True (owner-side) queuing delay of a link direction right now.
   sim::SimTime TrueQueueDelay(topo::LinkDir ld) const;
@@ -152,6 +237,34 @@ class LinkStateTable {
   std::vector<char> publish_pending_;
   std::vector<sim::SimTime> busy_;
   std::vector<std::uint64_t> bytes_;
+  // Multi-tenant arbitration state (cold unless a non-FIFO policy is
+  // selected; the FIFO fast path never reads it). Both tenant policies
+  // pace the *source* through a per-(tenant, first-hop direction)
+  // virtual clock living in dense slots ([slot][dir]) recycled LIFO:
+  // the wire itself stays FIFO (work-conserving), and the clock defers
+  // batch *formation* through QueryReleaseTime instead. Competitor
+  // counts are registration-scoped: a tenant is counted on a direction
+  // from its first reservation there until it unregisters, so debt and
+  // contention survive the 1-tick wire gaps an interleaved all-to-all
+  // leaves between batches. Work conservation comes from the gate, not
+  // from voiding debt — QueryReleaseTime caps the pace at one tick
+  // past the wire horizon, so an idle direction always re-opens.
+  ArbitrationKind arbitration_ = ArbitrationKind::kFifo;
+  struct QueryArb {
+    int slot = -1;
+    int priority = 0;
+  };
+  std::map<std::uint64_t, QueryArb> query_arb_;
+  std::vector<int> free_arb_slots_;
+  std::vector<std::vector<sim::SimTime>> fair_next_;  // [slot][dir index]
+  // [slot][dir]: 1 once the tenant has reserved on the direction; the
+  // competitor counts below include exactly the live tenants with this
+  // flag set, and UnregisterQuery deducts by scanning it.
+  std::vector<std::vector<std::uint64_t>> fair_touched_;
+  std::vector<int> fair_active_;  // [dir]: live tenants that touched it
+  // [dir * kPriorityClasses + c]: live tenants of class c that touched
+  // the direction.
+  std::vector<int> prio_active_;
   std::uint64_t broadcasts_ = 0;
   topo::LinkAvailabilityView avail_;
   std::function<void(const FaultEvent&)> fault_cb_;

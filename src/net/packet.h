@@ -27,6 +27,10 @@ struct Flow {
   std::uint64_t bytes = 0;
   sim::SimTime available_at = 0;
   double generation_rate = 0.0;  ///< 0 = all bytes ready at available_at
+  /// Arbitration class under ArbitrationKind::kPriority (higher wins
+  /// strictly); ignored by the other policies. Clamped to the link
+  /// table's class range at registration.
+  int priority = 0;
   /// Attribution: which query/phase produced this flow. The engine fills
   /// unset fields at registration (src/dst from the endpoints, phase
   /// "flow"), so telemetry and metrics always see a complete tag.

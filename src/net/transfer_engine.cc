@@ -45,6 +45,7 @@ TransferEngine::TransferEngine(sim::Simulator* sim,
   for (RingLink& r : rings_) r.slots = slots;
   dma_tracks_.assign(gpus_.size() * options_.dma_engines, -1);
   fault_retry_pending_.assign(gpus_.size(), 0);
+  links_.set_arbitration(options_.arbitration);
   links_.set_fault_callback(
       [this](const FaultEvent& ev) { OnFaultEvent(ev); });
   if (obs_.auditor == nullptr) {
@@ -185,7 +186,6 @@ void TransferEngine::CorruptRingForTest(int receiver, int upstream,
 }
 
 void TransferEngine::AddFlow(const Flow& flow) {
-  MGJ_CHECK(!started_) << "AddFlow after Start";
   MGJ_CHECK(flow.src_gpu != flow.dst_gpu);
   MGJ_CHECK(dense_[flow.src_gpu] >= 0 && dense_[flow.dst_gpu] >= 0)
       << "flow endpoints must participate";
@@ -207,62 +207,81 @@ void TransferEngine::AddFlow(const Flow& flow) {
       obs_.metrics,
       "net.flow." + f.tag.MetricComponent() + ".payload_bytes"));
   pending_payload_ += f.bytes;
+  // Tenant bookkeeping: the query becomes an arbitration participant
+  // with its first flow and stays one until its last byte is delivered.
+  auto [qit, fresh_query] = query_pending_.try_emplace(f.tag.query_id, 0);
+  if (fresh_query) links_.RegisterQuery(f.tag.query_id, f.priority);
+  qit->second += f.bytes;
+  // Dynamic admission: a service layer keeps feeding queries into a
+  // running engine; their availability events schedule right away.
+  if (started_) {
+    MGJ_CHECK(f.available_at >= sim_->Now())
+        << "post-start flow available in the past";
+    ActivateFlow(static_cast<std::uint32_t>(flows_.size() - 1));
+  }
 }
 
 void TransferEngine::Start() {
   MGJ_CHECK(!started_);
   started_ = true;
   if (!options_.faults.empty()) links_.ApplyFaultPlan(options_.faults);
-  if (!flows_.empty()) obs_.auditor->StartWatchdog(sim_);
-  stats_.first_available =
-      flows_.empty() ? sim_->Now()
-                     : std::numeric_limits<sim::SimTime>::max();
-  // Closures capture the dense flow index, not the Flow: flows_ is
-  // frozen at Start() so indices stay valid, and the small capture fits
-  // EventFn's inline buffer.
   for (std::uint32_t idx = 0; idx < flows_.size(); ++idx) {
-    const Flow& f = flows_[idx];
-    stats_.first_available = std::min(stats_.first_available, f.available_at);
-    if (obs_.telemetry != nullptr) {
-      obs_.telemetry->AddFlowProbe(
-          f.tag, "delivered_bytes",
-          [this, idx] { return flow_delivered_[idx]; });
-    }
-    if (obs_.trace != nullptr) {
-      // One registration instant per flow maps flow_id -> FlowTag in
-      // the trace, making every later net.* event (batch spans carry
-      // the flow and query ids) attributable per flow and per phase.
-      if (flow_track_ < 0) flow_track_ = obs_.trace->Track("net.flows");
-      obs_.trace->Instant(flow_track_, "flow", f.tag.phase, f.available_at,
-                          {{"flow", f.id},
-                           {"query", f.tag.query_id},
-                           {"src", static_cast<std::uint64_t>(f.tag.src)},
-                           {"dst", static_cast<std::uint64_t>(f.tag.dst)},
-                           {"bytes", f.bytes}});
-    }
-    const std::uint64_t num_packets =
-        CeilDiv(f.bytes, options_.packet_bytes);
-    if (f.generation_rate <= 0.0) {
-      sim_->ScheduleAt(f.available_at, [this, idx, num_packets] {
-        InjectPackets(idx, 0, num_packets);
-      });
-      continue;
-    }
-    // Progressive generation: packets become available in batch-sized
-    // groups as the producing kernel emits them.
-    const std::uint64_t group =
-        static_cast<std::uint64_t>(options_.batch_packets);
-    for (std::uint64_t first = 0; first < num_packets; first += group) {
-      const std::uint64_t count = std::min(group, num_packets - first);
-      const double produced_bytes = static_cast<double>(
-          std::min(f.bytes, (first + count) * options_.packet_bytes));
-      const sim::SimTime when =
-          f.available_at +
-          sim::FromSeconds(produced_bytes / f.generation_rate);
-      sim_->ScheduleAt(when, [this, idx, first, count] {
-        InjectPackets(idx, first, count);
-      });
-    }
+    ActivateFlow(idx);
+  }
+  if (!first_available_seen_) stats_.first_available = sim_->Now();
+}
+
+void TransferEngine::ActivateFlow(std::uint32_t idx) {
+  // StartWatchdog is idempotent while armed and re-arms after an idle
+  // drain, so a service admitting queries in bursts keeps deadlock
+  // detection alive across the gaps.
+  obs_.auditor->StartWatchdog(sim_);
+  // Closures capture the dense flow index, not the Flow: flows_ only
+  // grows, so indices stay valid, and the small capture fits EventFn's
+  // inline buffer.
+  const Flow& f = flows_[idx];
+  stats_.first_available = first_available_seen_
+                               ? std::min(stats_.first_available,
+                                          f.available_at)
+                               : f.available_at;
+  first_available_seen_ = true;
+  if (obs_.telemetry != nullptr) {
+    obs_.telemetry->AddFlowProbe(
+        f.tag, "delivered_bytes",
+        [this, idx] { return flow_delivered_[idx]; });
+  }
+  if (obs_.trace != nullptr) {
+    // One registration instant per flow maps flow_id -> FlowTag in
+    // the trace, making every later net.* event (batch spans carry
+    // the flow and query ids) attributable per flow and per phase.
+    if (flow_track_ < 0) flow_track_ = obs_.trace->Track("net.flows");
+    obs_.trace->Instant(flow_track_, "flow", f.tag.phase, f.available_at,
+                        {{"flow", f.id},
+                         {"query", f.tag.query_id},
+                         {"src", static_cast<std::uint64_t>(f.tag.src)},
+                         {"dst", static_cast<std::uint64_t>(f.tag.dst)},
+                         {"bytes", f.bytes}});
+  }
+  const std::uint64_t num_packets = CeilDiv(f.bytes, options_.packet_bytes);
+  if (f.generation_rate <= 0.0) {
+    sim_->ScheduleAt(f.available_at, [this, idx, num_packets] {
+      InjectPackets(idx, 0, num_packets);
+    });
+    return;
+  }
+  // Progressive generation: packets become available in batch-sized
+  // groups as the producing kernel emits them.
+  const std::uint64_t group =
+      static_cast<std::uint64_t>(options_.batch_packets);
+  for (std::uint64_t first = 0; first < num_packets; first += group) {
+    const std::uint64_t count = std::min(group, num_packets - first);
+    const double produced_bytes = static_cast<double>(
+        std::min(f.bytes, (first + count) * options_.packet_bytes));
+    const sim::SimTime when =
+        f.available_at + sim::FromSeconds(produced_bytes / f.generation_rate);
+    sim_->ScheduleAt(when, [this, idx, first, count] {
+      InjectPackets(idx, first, count);
+    });
   }
 }
 
@@ -379,6 +398,50 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
     return false;
   }
   const bool last_hop = hop_index + 2 == route.size();
+  // Arbitration gate (DESIGN.md Sec 15): a tenant policy may pace a
+  // packet's query on the first wire of this channel. Queues mix
+  // tenants, so a paced head must not head-of-line-block an eligible
+  // query behind it: source queues scan a bounded reorder window (like
+  // a hardware arbiter's finite lookahead) and rotate the paced prefix
+  // to the back; transit queues — minority traffic, grouped by route —
+  // stay strictly FIFO. When nothing in the window is eligible the
+  // queue is skipped (other queues still get served) and a wake is
+  // posted for the earliest release seen.
+  const topo::LinkDir pace_dir = topo_->channel(gpu, first_hop).path[0];
+  if (links_.arbitration() != ArbitrationKind::kFifo) {
+    const sim::SimTime arb_now = sim_->Now();
+    if (key.transit) {
+      const sim::SimTime release = links_.QueryReleaseTime(
+          flows_[queue.front().packet.flow_idx].tag.query_id, pace_dir);
+      if (release > arb_now) {
+        ++stats_.arb_paces;
+        SchedulePaceWake(gpu, release);
+        return false;
+      }
+    } else {
+      const std::size_t window = std::min<std::size_t>(
+          queue.size(),
+          static_cast<std::size_t>(options_.arb_reorder_window));
+      std::size_t skip = 0;
+      sim::SimTime earliest = 0;
+      while (skip < window) {
+        const sim::SimTime release = links_.QueryReleaseTime(
+            flows_[queue[skip].packet.flow_idx].tag.query_id, pace_dir);
+        if (release <= arb_now) break;
+        if (earliest == 0 || release < earliest) earliest = release;
+        ++skip;
+      }
+      if (skip == window) {
+        ++stats_.arb_paces;
+        if (earliest != 0) SchedulePaceWake(gpu, earliest);
+        return false;
+      }
+      for (std::size_t i = 0; i < skip; ++i) {
+        queue.push_back(queue.front());
+        queue.pop_front();
+      }
+    }
+  }
   RingLink& rl = ring(first_hop, gpu);
   if (rl.FreeViewFor(last_hop) < 1) {
     StartRingSync(first_hop, gpu);
@@ -386,7 +449,9 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
   }
 
   // Form the batch: consecutive head packets that share the route, capped
-  // by the batch size and by the slots we can claim.
+  // by the batch size and by the slots we can claim. A packet whose
+  // query is paced into the future ends the batch — its wake fires when
+  // the engine may inject for that query again.
   const int max_take = std::min<int>(
       options_.batch_packets, rl.FreeViewFor(last_hop));
   std::vector<QueuedPacket> batch;
@@ -394,6 +459,11 @@ bool TransferEngine::TryStartBatch(int gpu, const QueueKey& key) {
     const QueuedPacket& head = queue.front();
     if (key.transit &&
         !(head.packet.route == route && head.packet.hop == hop_index)) {
+      break;
+    }
+    if (!batch.empty() &&
+        links_.QueryReleaseTime(flows_[head.packet.flow_idx].tag.query_id,
+                                pace_dir) > sim_->Now()) {
       break;
     }
     batch.push_back(head);
@@ -477,8 +547,9 @@ void TransferEngine::SendBatch(int gpu, std::vector<QueuedPacket> batch,
     const sim::SimTime send_start = sim_->Now();
     sim::SimTime engine_free = send_start;
     for (QueuedPacket& qp : batch) {
-      const LinkStateTable::Reservation res =
-          links_.ReserveChannel(ch, qp.packet.wire_bytes());
+      const LinkStateTable::Reservation res = links_.ReserveChannel(
+          ch, qp.packet.wire_bytes(),
+          flows_[qp.packet.flow_idx].tag.query_id);
       engine_free = res.end;
       ++stats_.packet_hops;
       stats_.wire_bytes += qp.packet.payload_bytes;
@@ -531,6 +602,18 @@ void TransferEngine::HandleArrival(Packet packet, int from_gpu) {
     flow_payload_counters_[packet.flow_idx].Add(packet.payload_bytes);
     MGJ_CHECK(pending_payload_ >= packet.payload_bytes);
     pending_payload_ -= packet.payload_bytes;
+    const std::uint64_t qid = flows_[packet.flow_idx].tag.query_id;
+    const auto qit = query_pending_.find(qid);
+    MGJ_CHECK(qit != query_pending_.end() &&
+              qit->second >= packet.payload_bytes)
+        << "per-query pending underflow, query " << qid;
+    qit->second -= packet.payload_bytes;
+    if (qit->second == 0) {
+      // Last byte of the query landed: end its arbitration tenancy so
+      // fair-share stops charging the survivors for a finished tenant.
+      query_pending_.erase(qit);
+      links_.UnregisterQuery(qid);
+    }
     stats_.last_delivery = std::max(stats_.last_delivery, sim_->Now());
     if (pending_payload_ == 0 && obs_.telemetry != nullptr) {
       // Final snapshot: the last delivery rarely lands on a grid point,
@@ -768,6 +851,20 @@ void TransferEngine::ScheduleFaultRetry(int gpu) {
   m_fault_waits_.Add(1);
   sim_->Schedule(options_.fault_retry_interval, [this, gpu] {
     fault_retry_pending_[dense_[gpu]] = 0;
+    TryStartSends(gpu);
+  });
+}
+
+void TransferEngine::SchedulePaceWake(int gpu, sim::SimTime when) {
+  GpuState& gs = gpu_state(gpu);
+  // One pending wake per GPU is enough: if an earlier (or equal) wake
+  // is already posted, TryStartSends will rediscover any later release
+  // when it fires.
+  if (gs.pace_wake_at != 0 && gs.pace_wake_at <= when) return;
+  gs.pace_wake_at = when;
+  sim_->ScheduleAt(when, [this, gpu, when] {
+    GpuState& inner = gpu_state(gpu);
+    if (inner.pace_wake_at == when) inner.pace_wake_at = 0;
     TryStartSends(gpu);
   });
 }

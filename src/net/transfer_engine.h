@@ -52,6 +52,15 @@ struct TransferOptions {
   /// re-checking. Only polled while further fault events are scheduled —
   /// a restore also re-kicks every sender immediately.
   sim::SimTime fault_retry_interval = 200 * sim::kMicrosecond;
+  /// How concurrent queries competing for a link direction are ordered
+  /// (multi-tenant service; DESIGN.md Sec 15). kFifo reproduces the
+  /// single-query engine byte for byte.
+  ArbitrationKind arbitration = ArbitrationKind::kFifo;
+  /// Source-queue packets a tenant policy may look past a paced head
+  /// when forming a batch (finite arbiter lookahead; mixed-tenant
+  /// queues would otherwise head-of-line-block eligible queries).
+  /// Ignored under kFifo.
+  int arb_reorder_window = 64;
   /// Observability sinks (see obs/obs.h). Null trace/metrics pointers
   /// disable those sinks; a null auditor makes the engine run its own
   /// default one (sampled invariant checks + deadlock watchdog stay on).
@@ -72,6 +81,7 @@ struct TransferStats {
   std::uint64_t fault_reroutes = 0;  ///< packets re-pathed around down links
   std::uint64_t fault_aborts = 0;    ///< batches unwound: link died pre-wire
   std::uint64_t fault_waits = 0;     ///< retry polls while fault-blocked
+  std::uint64_t arb_paces = 0;       ///< batch formations deferred by pacing
   sim::SimTime control_overhead = 0; ///< centralized barrier time, summed
 
   /// Wall-clock of the distribution step.
@@ -123,7 +133,15 @@ class TransferEngine {
   TransferEngine(const TransferEngine&) = delete;
   TransferEngine& operator=(const TransferEngine&) = delete;
 
-  /// Registers a flow. Must be called before Start().
+  /// \brief Registers a flow.
+  ///
+  /// Before Start() the flow is queued and activated by Start(); after
+  /// Start() it is admitted dynamically — availability events are
+  /// scheduled immediately, so a long-running service can keep feeding
+  /// queries into one engine (`available_at` must not lie in the past).
+  /// The flow's query (FlowTag::query_id) is auto-registered with the
+  /// link table for arbitration and deregistered once its last byte
+  /// lands.
   void AddFlow(const Flow& flow);
 
   /// Called whenever a packet reaches its final destination, with the
@@ -207,6 +225,10 @@ class TransferEngine {
     /// Which DMA engines are mid-batch; slots give each engine a stable
     /// identity so its busy spans land on one trace track.
     std::vector<char> engine_busy;
+    /// Earliest pending arbitration wake (0 = none). Dedups the events
+    /// SchedulePaceWake posts when every serviceable queue head is
+    /// paced into the future by QueryReleaseTime.
+    sim::SimTime pace_wake_at = 0;
   };
 
   GpuState& gpu_state(int gpu) { return gpu_states_[dense_[gpu]]; }
@@ -220,6 +242,10 @@ class TransferEngine {
   void RegisterAuditorChecks();
   void ResolveMetricHandles();
   void RegisterTelemetryProbes();
+  /// Schedules flow `idx`'s availability events (probe registration,
+  /// trace instant, packet injection). Called by Start() for pre-start
+  /// flows and by AddFlow() directly for dynamically admitted ones.
+  void ActivateFlow(std::uint32_t idx);
   int DmaTrack(int gpu, int slot);
   void InjectPackets(std::uint32_t flow_idx, std::uint64_t first_packet,
                      std::uint64_t num_packets);
@@ -257,6 +283,9 @@ class TransferEngine {
   std::uint64_t RepairTransitQueue(int gpu, int peer);
   void RepairStrandedTransit();
   void ScheduleFaultRetry(int gpu);
+  // Re-runs TryStartSends(gpu) at `when` — posted when arbitration
+  // pacing leaves a queue head ineligible with idle engines.
+  void SchedulePaceWake(int gpu, sim::SimTime when);
 
   sim::Simulator* sim_;
   const topo::Topology* topo_;
@@ -296,6 +325,10 @@ class TransferEngine {
   // payload_bytes"), resolved at registration; parallel to flows_.
   std::vector<obs::CounterHandle> flow_payload_counters_;
   std::map<std::uint64_t, std::uint32_t> flow_index_;
+  // Undelivered payload per query id: drives link-table tenant
+  // registration (register on a query's first flow, deregister when its
+  // last byte lands so fair-share stops charging for finished tenants).
+  std::map<std::uint64_t, std::uint64_t> query_pending_;
   std::vector<Packet> inflight_;
   std::vector<std::uint32_t> inflight_free_;
   std::vector<GpuState> gpu_states_;
@@ -309,6 +342,7 @@ class TransferEngine {
   DeliverCallback deliver_cb_;
 
   bool started_ = false;
+  bool first_available_seen_ = false;  // stats_.first_available is valid
   std::uint64_t pending_payload_ = 0;
   std::uint64_t inflight_payload_ = 0;  ///< payload bytes on the wire
   std::uint64_t next_packet_id_ = 0;

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace mgjoin::obs::report {
 
@@ -507,6 +508,67 @@ std::string RunReport::ToText() const {
     out += "== link heatmap (util deciles over window) ==\n";
     out += c.AsciiHeatmap();
   }
+  return out;
+}
+
+void TenancyReport::Finalize() {
+  slo = SloStats{};
+  makespan = 0;
+  if (queries.empty()) return;
+  sim::SimTime first_submit = queries.front().submit_at;
+  sim::SimTime last_complete = 0;
+  obs::Histogram latency_ns;
+  double sum_ns = 0.0;
+  for (const QueryOutcome& q : queries) {
+    first_submit = std::min(first_submit, q.submit_at);
+    last_complete = std::max(last_complete, q.complete_at);
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        q.Latency() / sim::kNanosecond);
+    latency_ns.Observe(ns);
+    sum_ns += static_cast<double>(ns);
+    slo.max_ns = std::max(slo.max_ns, ns);
+  }
+  makespan = last_complete > first_submit ? last_complete - first_submit : 0;
+  slo.count = queries.size();
+  slo.p50_ns = latency_ns.P50();
+  slo.p95_ns = latency_ns.P95();
+  slo.p99_ns = latency_ns.P99();
+  slo.mean_ns = sum_ns / static_cast<double>(queries.size());
+}
+
+std::string TenancyReport::ToText() const {
+  std::string out;
+  const std::string inflight_text =
+      inflight_limit == 0 ? "unlimited" : std::to_string(inflight_limit);
+  AppendFixed(&out, "== tenancy (%s, inflight=%s, %zu queries) ==\n",
+              arbitration.c_str(), inflight_text.c_str(), queries.size());
+  AppendFixed(&out,
+              "  %-6s %-4s %10s %10s %12s %11s %9s %9s %10s\n", "query",
+              "prio", "submit_ms", "admit_ms", "complete_ms", "latency_ms",
+              "queue_ms", "slowdown", "matches");
+  for (const QueryOutcome& q : queries) {
+    AppendFixed(&out, "  q%-5llu %-4d %10.3f %10.3f %12.3f %11.3f %9.3f ",
+                static_cast<unsigned long long>(q.query_id), q.priority,
+                sim::ToMillis(q.submit_at), sim::ToMillis(q.admit_at),
+                sim::ToMillis(q.complete_at), sim::ToMillis(q.Latency()),
+                sim::ToMillis(q.QueueDelay()));
+    if (q.solo_latency == 0) {
+      AppendFixed(&out, "%9s ", "-");
+    } else {
+      AppendFixed(&out, "%8.2fx ", q.Slowdown());
+    }
+    AppendFixed(&out, "%10llu\n",
+                static_cast<unsigned long long>(q.matches));
+  }
+  AppendFixed(&out,
+              "  latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f "
+              "ms over %llu queries; makespan %.3f ms\n",
+              static_cast<double>(slo.p50_ns) / 1e6,
+              static_cast<double>(slo.p95_ns) / 1e6,
+              static_cast<double>(slo.p99_ns) / 1e6,
+              static_cast<double>(slo.max_ns) / 1e6,
+              static_cast<unsigned long long>(slo.count),
+              sim::ToMillis(makespan));
   return out;
 }
 

@@ -147,6 +147,58 @@ TimelineAnalytics AnalyzeTimeline(const CongestionReport& congestion,
 std::string TimelineText(const CongestionReport& congestion,
                          double threshold = 0.9);
 
+/// One query's admission→completion outcome in a multi-tenant service
+/// run (src/svc scheduler; DESIGN.md Sec 15).
+struct QueryOutcome {
+  std::uint64_t query_id = 0;
+  int priority = 0;              ///< strict-priority class (higher wins)
+  sim::SimTime submit_at = 0;    ///< entered the admission queue
+  sim::SimTime admit_at = 0;     ///< flows entered the shared fabric
+  sim::SimTime complete_at = 0;  ///< probe finished on every GPU
+  std::uint64_t payload_bytes = 0;  ///< shuffled over the shared fabric
+  std::uint64_t matches = 0;
+  /// The same query's admission→completion time alone on an idle,
+  /// healthy fabric (0 = solo baseline not measured).
+  sim::SimTime solo_latency = 0;
+
+  sim::SimTime Latency() const { return complete_at - admit_at; }
+  sim::SimTime QueueDelay() const { return admit_at - submit_at; }
+  /// Contention penalty vs running alone; 0 when not measured.
+  double Slowdown() const {
+    return solo_latency == 0 ? 0.0
+                             : static_cast<double>(Latency()) /
+                                   static_cast<double>(solo_latency);
+  }
+};
+
+/// Admission→completion latency quantiles over one service run,
+/// computed through obs::Histogram (log-bucketed, so quantiles are
+/// bucket upper bounds — deterministic and thread-count-invariant).
+struct SloStats {
+  std::uint64_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0.0;
+};
+
+/// The per-query outcome table + SLO digest of one multi-tenant run.
+struct TenancyReport {
+  std::string arbitration = "fifo";
+  int inflight_limit = 0;  ///< 0 = unlimited
+  std::vector<QueryOutcome> queries;  ///< admission order
+  sim::SimTime makespan = 0;  ///< first submit to last completion
+  SloStats slo;
+
+  /// Recomputes `slo` and `makespan` from `queries`.
+  void Finalize();
+
+  /// Human-readable table: one row per query with a slowdown-vs-solo
+  /// column, then the SLO quantile line.
+  std::string ToText() const;
+};
+
 /// The full analysis of one run's trace slice.
 struct RunReport {
   CriticalPath critical_path;

@@ -82,8 +82,11 @@ void TelemetrySampler::AddProbe(std::string name, Probe probe) {
 
 void TelemetrySampler::AddFlowProbe(FlowTag tag, std::string metric,
                                     Probe probe) {
-  MGJ_CHECK(!sampled_) << "flow probe registered after sampling started: "
-                       << metric;
+  // Unlike plain probes, flow probes may arrive mid-run: the service
+  // scheduler admits queries dynamically, registering their flows after
+  // sampling started. A late series simply begins at the next tick —
+  // every series carries its own timestamps, so exporters cope, and
+  // registration rides the (deterministic) event order.
   Series s;
   s.name = "flow." + metric + tag.ToString();
   s.metric = std::move(metric);

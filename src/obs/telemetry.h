@@ -91,7 +91,9 @@ class TelemetrySampler {
   void AddProbe(std::string name, Probe probe);
 
   /// Registers a per-flow probe: `metric` names what is measured
-  /// ("delivered_bytes"), `tag` attributes it.
+  /// ("delivered_bytes"), `tag` attributes it. May be called after
+  /// sampling started (dynamically admitted service queries register
+  /// flows mid-run); the series then begins at the next tick.
   void AddFlowProbe(FlowTag tag, std::string metric, Probe probe);
 
   /// Installs the sampler as `sim`'s observer (one Attach per sampler)

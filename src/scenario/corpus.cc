@@ -106,6 +106,35 @@ const std::vector<NamedScenario>& Corpus() {
        "virtual_scale = 1024\n"
        "faults = down:gpu1-gpu2:@600us,restore:gpu1-gpu2:@3ms\n"},
 
+      {"multi-tenant-fifo-smoke",
+       "# Four tenants through a 2-deep admission gate on FIFO links:\n"
+       "# the service scheduler's bread-and-butter configuration.\n"
+       "name = multi-tenant-fifo-smoke\n"
+       "tuples_per_gpu = 4096\n"
+       "queries = 4\n"
+       "inflight = 2\n"
+       "virtual_scale = 256\n"},
+
+      {"multi-tenant-fair-contention",
+       "# Six tenants all admitted at once under fair-share link\n"
+       "# arbitration with key skew: the slowdown-vs-solo stress case.\n"
+       "name = multi-tenant-fair-contention\n"
+       "tuples_per_gpu = 4096\n"
+       "key_zipf = 1.0\n"
+       "queries = 6\n"
+       "arbitration = fair\n"
+       "virtual_scale = 512\n"},
+
+      {"multi-tenant-priority-faulted",
+       "# Strict priority classes racing through a flapping NVLink:\n"
+       "# arbitration floors interact with fault reroutes.\n"
+       "name = multi-tenant-priority-faulted\n"
+       "tuples_per_gpu = 4096\n"
+       "queries = 4\n"
+       "arbitration = priority\n"
+       "virtual_scale = 512\n"
+       "faults = flap:nvlink2:@1ms:400usx3\n"},
+
       {"no-compression-hotkey-degrade",
        "name = no-compression-hotkey-degrade\n"
        "tuples_per_gpu = 8192\n"

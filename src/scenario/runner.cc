@@ -1,6 +1,7 @@
 #include "scenario/runner.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -15,6 +16,7 @@
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
+#include "svc/service.h"
 #include "topo/presets.h"
 
 namespace mgjoin::scenario {
@@ -58,6 +60,214 @@ data::DistRelation GlobalRowRelation(const data::DistRelation& rel,
   return out;
 }
 
+/// Per-query delivered-bytes totals from the sampled per-flow telemetry,
+/// keyed by FlowTag::query_id. A run with one query yields one entry;
+/// multi-tenant service runs yield one per tenant.
+std::map<std::uint64_t, std::uint64_t> FlowDeliveredByQuery(
+    const obs::TelemetrySampler& telemetry) {
+  std::map<std::uint64_t, std::uint64_t> by_query;
+  for (const auto& series : telemetry.series()) {
+    if (series.is_flow && series.metric == "delivered_bytes") {
+      by_query[series.tag.query_id] += series.data.last();
+    }
+  }
+  return by_query;
+}
+
+/// The spec.queries > 1 path: a multi-tenant service run through
+/// svc::QueryScheduler, verdicted per query (oracle matches, FlowTag
+/// attribution, SLO sanity) plus the shared trace/telemetry checks.
+ScenarioVerdict RunServiceScenario(const ScenarioSpec& spec) {
+  ScenarioVerdict v;
+  const auto topo = spec.MakeTopology();
+  const int g = spec.ResolvedGpus(*topo);
+  const auto gpus = topo::FirstNGpus(g);
+
+  if (spec.threads > 0) {
+    ThreadPool::SetDefaultThreads(static_cast<std::size_t>(spec.threads));
+  }
+
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  obs::TelemetrySampler telemetry(obs::TelemetrySampler::IntervalFromEnv());
+  obs::InvariantAuditor auditor;
+  std::vector<std::string> violations;
+  auditor.set_failure_handler(
+      [&violations](const std::string& m) { violations.push_back(m); });
+
+  svc::ServiceOptions opts;
+  opts.join.policy = spec.PolicyKind();
+  opts.join.transfer.packet_bytes = spec.packet_kb * kKiB;
+  opts.join.transfer.batch_packets = spec.batch_packets;
+  opts.join.transfer.ring_buffer_bytes =
+      static_cast<std::uint64_t>(spec.ring_mb) * kMiB;
+  opts.join.use_compression = spec.compression;
+  opts.join.virtual_scale = spec.virtual_scale;
+  opts.join.host_threads = spec.threads;
+  opts.join.transfer.obs.trace = &trace;
+  opts.join.transfer.obs.metrics = &metrics;
+  opts.join.transfer.obs.auditor = &auditor;
+  opts.join.transfer.obs.telemetry = &telemetry;
+  if (!spec.faults.empty()) {
+    opts.join.transfer.faults =
+        net::FaultPlan::Parse(spec.faults, *topo).value();
+  }
+  opts.inflight_limit = spec.inflight;
+  net::ParseArbitration(spec.arbitration, &opts.arbitration);
+
+  // One tenant per query: distinct seed (distinct data), rotating
+  // priority classes so the priority policy has classes to separate.
+  std::vector<svc::QuerySpec> queries;
+  std::map<std::uint64_t, join::LocalJoinStats> oracles;
+  for (int q = 0; q < spec.queries; ++q) {
+    svc::QuerySpec qs;
+    qs.query_id = static_cast<std::uint64_t>(q + 1);
+    qs.gen.tuples_per_relation =
+        spec.tuples_per_gpu * static_cast<std::uint64_t>(g);
+    qs.gen.num_gpus = g;
+    qs.gen.placement_zipf = spec.placement_zipf;
+    qs.gen.key_zipf = spec.key_zipf;
+    qs.gen.seed = spec.seed + static_cast<std::uint64_t>(q);
+    qs.priority = q % 3;
+    qs.submit_at = 0;
+    auto [r, s] = data::MakeJoinInput(qs.gen);
+    oracles[qs.query_id] = join::ReferenceJoin(r, s);
+    v.reference_matches += oracles[qs.query_id].matches;
+    queries.push_back(qs);
+  }
+
+  svc::QueryScheduler sched(topo.get(), gpus, opts);
+  auto res = sched.Run(queries);
+  if (spec.threads > 0) ThreadPool::SetDefaultThreads(0);
+  if (!res.ok()) {
+    v.failures.push_back("service run failed: " + res.status().ToString());
+    v.auditor_violations = violations.size();
+    for (const std::string& m : violations) v.failures.push_back(m);
+    return v;
+  }
+  const svc::ServiceResult& out = res.value();
+
+  v.matches = out.total_matches;
+  v.checksum = out.checksum;
+  v.sim_total = out.tenancy.makespan;
+  v.shuffled_bytes = out.net.payload_bytes;
+  v.fault_reroutes = out.net.fault_reroutes;
+  v.fault_aborts = out.net.fault_aborts;
+  v.auditor_violations = violations.size();
+  v.trace_events = trace.num_events();
+  v.trace_json = trace.ToJson();
+  v.telemetry_ticks = telemetry.ticks();
+  v.telemetry_series = telemetry.series().size();
+  v.openmetrics = obs::OpenMetricsText(&metrics, &telemetry);
+
+  // --- Per-query results vs the ReferenceJoin oracle. ---
+  std::uint64_t oracle_checksum = 0;
+  for (const auto& [qid, oracle] : oracles) oracle_checksum += oracle.checksum;
+  if (out.tenancy.queries.size() != queries.size()) {
+    v.failures.push_back("service completed " +
+                         std::to_string(out.tenancy.queries.size()) +
+                         " of " + std::to_string(queries.size()) +
+                         " queries");
+  }
+  for (const obs::report::QueryOutcome& q : out.tenancy.queries) {
+    const auto it = oracles.find(q.query_id);
+    if (it == oracles.end()) {
+      v.failures.push_back("unknown query id " + std::to_string(q.query_id) +
+                           " in tenancy report");
+      continue;
+    }
+    if (q.matches != it->second.matches) {
+      v.failures.push_back(
+          "query " + std::to_string(q.query_id) + " matches " +
+          std::to_string(q.matches) + " != reference " +
+          std::to_string(it->second.matches));
+    }
+    if (q.complete_at <= q.admit_at || q.admit_at < q.submit_at) {
+      v.failures.push_back("query " + std::to_string(q.query_id) +
+                           " has a non-causal admission timeline");
+    }
+    if (q.solo_latency == 0 || q.Latency() == 0) {
+      v.failures.push_back("query " + std::to_string(q.query_id) +
+                           " is missing latency measurements");
+    }
+  }
+  if (out.checksum != oracle_checksum) {
+    v.failures.push_back("summed checksum mismatch vs reference joins");
+  }
+  if (spec.expect_matches >= 0 &&
+      out.total_matches !=
+          static_cast<std::uint64_t>(spec.expect_matches)) {
+    v.failures.push_back(
+        "expect_matches " + std::to_string(spec.expect_matches) +
+        " but got " + std::to_string(out.total_matches));
+  }
+  for (const std::string& m : violations) v.failures.push_back(m);
+
+  // --- Trace well-formedness (service flavor: the svc layer emits the
+  // join_total span; the per-GPU phase tiling is a single-query notion).
+  if (trace.num_events() == 0) {
+    v.failures.push_back("run recorded no trace events");
+  } else {
+    auto events = obs::report::EventsFromTraceJson(v.trace_json);
+    if (!events.ok()) {
+      v.failures.push_back("trace does not parse back: " +
+                           events.status().ToString());
+    } else {
+      bool join_total = false;
+      std::size_t admits = 0;
+      for (const obs::TraceEvent& ev : events.value()) {
+        if (ev.track == "join.phases" && ev.name == "join_total") {
+          join_total = true;
+        }
+        if (ev.track == "svc.admission" && ev.name == "admit") ++admits;
+      }
+      if (!join_total) {
+        v.failures.push_back("trace is missing the join_total phase span");
+      }
+      if (admits != queries.size()) {
+        v.failures.push_back("trace shows " + std::to_string(admits) +
+                             " admissions for " +
+                             std::to_string(queries.size()) + " queries");
+      }
+    }
+  }
+  if (v.sim_total == 0) {
+    v.failures.push_back("simulated time did not advance");
+  }
+
+  // --- Telemetry + per-query flow attribution. ---
+  if (const Status st = obs::LintOpenMetrics(v.openmetrics); !st.ok()) {
+    v.failures.push_back("openmetrics exposition malformed: " +
+                         st.ToString());
+  }
+  if (out.net.payload_bytes > 0 && telemetry.ticks() == 0) {
+    v.failures.push_back("telemetry took no samples despite traffic");
+  }
+  const std::map<std::uint64_t, std::uint64_t> by_query =
+      FlowDeliveredByQuery(telemetry);
+  std::uint64_t flow_total = 0;
+  for (const auto& [qid, bytes] : by_query) flow_total += bytes;
+  if (flow_total != out.net.payload_bytes) {
+    v.failures.push_back(
+        "per-flow delivered totals " + std::to_string(flow_total) +
+        " != TransferStats payload_bytes " +
+        std::to_string(out.net.payload_bytes));
+  }
+  for (const obs::report::QueryOutcome& q : out.tenancy.queries) {
+    const auto it = by_query.find(q.query_id);
+    const std::uint64_t seen = it == by_query.end() ? 0 : it->second;
+    if (seen != q.payload_bytes) {
+      v.failures.push_back(
+          "query " + std::to_string(q.query_id) + " flow telemetry " +
+          std::to_string(seen) + " bytes != its payload " +
+          std::to_string(q.payload_bytes));
+    }
+  }
+
+  v.passed = v.failures.empty();
+  return v;
+}
+
 }  // namespace
 
 std::string ScenarioVerdict::ToText() const {
@@ -81,6 +291,7 @@ ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
     v.failures.push_back("spec invalid: " + st.ToString());
     return v;
   }
+  if (spec.queries > 1) return RunServiceScenario(spec);
 
   const auto topo = spec.MakeTopology();
   const int g = spec.ResolvedGpus(*topo);
@@ -249,17 +460,23 @@ ScenarioVerdict RunScenario(const ScenarioSpec& spec) {
   if (out.stats.net.payload_bytes > 0 && telemetry.ticks() == 0) {
     v.failures.push_back("telemetry took no samples despite traffic");
   }
+  // Grouped by FlowTag query id: a single-query run must attribute all
+  // its traffic to exactly one query, and the per-query totals must sum
+  // to the engine's delivered payload.
+  const std::map<std::uint64_t, std::uint64_t> by_query =
+      FlowDeliveredByQuery(telemetry);
   std::uint64_t flow_total = 0;
-  for (const auto& series : telemetry.series()) {
-    if (series.is_flow && series.metric == "delivered_bytes") {
-      flow_total += series.data.last();
-    }
-  }
+  for (const auto& [qid, bytes] : by_query) flow_total += bytes;
   if (flow_total != out.stats.net.payload_bytes) {
     v.failures.push_back(
         "per-flow delivered totals " + std::to_string(flow_total) +
         " != TransferStats payload_bytes " +
         std::to_string(out.stats.net.payload_bytes));
+  }
+  if (by_query.size() > 1) {
+    v.failures.push_back(
+        "single-query run attributed flows to " +
+        std::to_string(by_query.size()) + " distinct query ids");
   }
 
   v.passed = v.failures.empty();

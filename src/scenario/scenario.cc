@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "net/link_state.h"
 #include "topo/presets.h"
 
 namespace mgjoin::scenario {
@@ -87,6 +88,9 @@ std::string ScenarioSpec::ToText() const {
   out << "threads = " << threads << "\n";
   out << "seed = " << seed << "\n";
   out << "virtual_scale = " << FormatDouble(virtual_scale) << "\n";
+  out << "queries = " << queries << "\n";
+  out << "inflight = " << inflight << "\n";
+  out << "arbitration = " << arbitration << "\n";
   if (!faults.empty()) out << "faults = " << faults << "\n";
   if (expect_matches >= 0) {
     out << "expect_matches = " << expect_matches << "\n";
@@ -199,6 +203,16 @@ Result<ScenarioSpec> ParseScenario(const std::string& text) {
       auto v = ParseF64(key, val);
       if (!v.ok()) return bad(v.status());
       spec.virtual_scale = v.value();
+    } else if (key == "queries") {
+      auto v = ParseU64(key, val);
+      if (!v.ok()) return bad(v.status());
+      spec.queries = static_cast<int>(v.value());
+    } else if (key == "inflight") {
+      auto v = ParseU64(key, val);
+      if (!v.ok()) return bad(v.status());
+      spec.inflight = static_cast<int>(v.value());
+    } else if (key == "arbitration") {
+      spec.arbitration = val;
     } else if (key == "faults") {
       spec.faults = val;
     } else if (key == "expect_matches") {
@@ -270,6 +284,17 @@ Status ValidateScenario(const ScenarioSpec& spec) {
   }
   if (!(spec.virtual_scale > 0.0) || spec.virtual_scale > 1e7) {
     return Status::InvalidArgument("virtual_scale outside (0, 1e7]");
+  }
+  if (spec.queries < 1 || spec.queries > 64) {
+    return Status::InvalidArgument("queries outside [1, 64]");
+  }
+  if (spec.inflight < 0 || spec.inflight > 64) {
+    return Status::InvalidArgument("inflight outside [0, 64]");
+  }
+  if (net::ArbitrationKind unused;
+      !net::ParseArbitration(spec.arbitration, &unused)) {
+    return Status::InvalidArgument("arbitration '" + spec.arbitration +
+                                   "' unknown (want fifo|fair|priority)");
   }
   if (!spec.faults.empty()) {
     auto plan = net::FaultPlan::Parse(spec.faults, *topo);

@@ -63,6 +63,13 @@ struct ScenarioSpec {
   std::uint64_t seed = 42;
   /// Timing-layer scale multiplier (functional data stays small).
   double virtual_scale = 1.0;
+  /// Concurrent queries sharing the fabric (multi-tenant service;
+  /// DESIGN.md Sec 15). 1 = the plain single-query runner.
+  int queries = 1;
+  /// Admission limit: queries on the fabric at once (0 = unlimited).
+  int inflight = 0;
+  /// Link arbitration between tenants: fifo | fair | priority.
+  std::string arbitration = "fifo";
   /// Link fault schedule (net::FaultPlan grammar), "" = healthy fabric.
   std::string faults;
   /// Optional assertion: exact expected match count (-1 = unset). With

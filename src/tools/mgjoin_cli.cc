@@ -8,6 +8,11 @@
 //                [--telemetry=out.om] [--telemetry-csv=out.csv]
 //                [--sample-every=250us]
 //                [--faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms]
+//   mgjoin serve [--queries N] [--inflight N]
+//                [--arbitration fifo|fair|priority] [--machine M]
+//                [--gpus N] [--tuples N] [--zipf Z] [--key-zipf Z]
+//                [--scale S] [--threads N] [--no-solo] [--faults=SPEC]
+//                [--trace=out.json] [--telemetry=out.om]
 //   mgjoin tpch  [--query 3|5|10|12|14|19|all] [--sf F] [--virtual-sf F]
 //   mgjoin report <trace.json> [--timeline] [--saturation=0.9]
 //   mgjoin scenario list
@@ -69,6 +74,7 @@
 #include "scenario/corpus.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
+#include "svc/service.h"
 #include "topo/presets.h"
 #include "tpch/dbgen.h"
 #include "tpch/omnisci_model.h"
@@ -286,6 +292,137 @@ int CmdJoin(const Args& args) {
   return 0;
 }
 
+// Multi-tenant service run (src/svc; DESIGN.md Sec 15): N concurrent
+// MG-Join queries interleave on one shared fabric behind an admission
+// queue, under the selected link-arbitration policy. Prints the
+// per-query outcome table (latency, queue delay, slowdown-vs-solo) and
+// the SLO quantile line. --inflight and --arbitration fall back to the
+// MGJ_INFLIGHT / MGJ_ARBITRATION environment variables when the flags
+// are absent.
+int CmdServe(const Args& args) {
+  auto topo = MakeMachine(args.Get("machine", "dgx1"));
+  const int g = static_cast<int>(args.GetI("gpus", topo->num_gpus()));
+  if (g < 1 || g > topo->num_gpus()) {
+    std::fprintf(stderr, "gpus must be 1..%d\n", topo->num_gpus());
+    return 1;
+  }
+  const int queries = static_cast<int>(args.GetI("queries", 8));
+  if (queries < 1 || queries > 64) {
+    std::fprintf(stderr, "queries must be 1..64\n");
+    return 1;
+  }
+
+  const char* env_inflight = std::getenv("MGJ_INFLIGHT");
+  long long inflight_dflt =
+      env_inflight != nullptr ? std::atoll(env_inflight) : 0;
+  const char* env_arb = std::getenv("MGJ_ARBITRATION");
+  std::string arb_dflt = env_arb != nullptr ? env_arb : "fifo";
+
+  svc::ServiceOptions opts;
+  opts.inflight_limit = static_cast<int>(args.GetI("inflight", inflight_dflt));
+  if (opts.inflight_limit < 0) {
+    std::fprintf(stderr, "inflight must be >= 0\n");
+    return 1;
+  }
+  const std::string arb_text = args.Get("arbitration", arb_dflt);
+  if (!net::ParseArbitration(arb_text, &opts.arbitration)) {
+    std::fprintf(stderr, "bad --arbitration '%s' (want fifo|fair|priority)\n",
+                 arb_text.c_str());
+    return 1;
+  }
+  opts.measure_solo = !args.Has("no-solo");
+  opts.join.policy = ParsePolicy(args.Get("policy", "adaptive"));
+  opts.join.virtual_scale = args.GetD("scale", 256.0);
+  const int threads = static_cast<int>(args.GetI("threads", 0));
+  opts.join.host_threads = threads;
+
+  const std::string fault_spec = args.Get("faults", "");
+  if (!fault_spec.empty()) {
+    auto plan = net::FaultPlan::Parse(fault_spec, *topo);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --faults: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    opts.join.transfer.faults = std::move(plan).value();
+  }
+
+  const std::string trace_path = args.Get("trace", "");
+  const std::string telemetry_path = args.Get("telemetry", "");
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  obs::TelemetrySampler telemetry(obs::TelemetrySampler::IntervalFromEnv());
+  if (!trace_path.empty()) opts.join.transfer.obs.trace = &trace;
+  if (!telemetry_path.empty()) {
+    opts.join.transfer.obs.metrics = &metrics;
+    opts.join.transfer.obs.telemetry = &telemetry;
+  }
+
+  // One tenant per query: same workload shape, distinct seeds so the
+  // data differs, rotating priority classes for the priority policy.
+  std::vector<svc::QuerySpec> specs;
+  for (int q = 0; q < queries; ++q) {
+    svc::QuerySpec qs;
+    qs.query_id = static_cast<std::uint64_t>(q + 1);
+    qs.gen.tuples_per_relation =
+        static_cast<std::uint64_t>(args.GetI("tuples", 8192)) * g;
+    qs.gen.num_gpus = g;
+    qs.gen.placement_zipf = args.GetD("zipf", 0.0);
+    qs.gen.key_zipf = args.GetD("key-zipf", 0.0);
+    qs.gen.seed = 42 + static_cast<std::uint64_t>(q);
+    qs.priority = q % 3;
+    qs.submit_at = 0;
+    specs.push_back(qs);
+  }
+
+  svc::QueryScheduler sched(topo.get(), topo::FirstNGpus(g), opts);
+  auto res = sched.Run(specs);
+  if (!res.ok()) {
+    std::fprintf(stderr, "service run failed: %s\n",
+                 res.status().ToString().c_str());
+    return 1;
+  }
+  const svc::ServiceResult& out = res.value();
+
+  std::printf("%s", out.tenancy.ToText().c_str());
+  std::printf("total matches     %llu\n",
+              static_cast<unsigned long long>(out.total_matches));
+  std::printf("fabric payload    %s (wire %s)\n",
+              FormatBytes(out.net.payload_bytes).c_str(),
+              FormatBytes(out.net.wire_bytes).c_str());
+  std::printf("arbitration paces %llu\n",
+              static_cast<unsigned long long>(out.net.arb_paces));
+  if (!fault_spec.empty()) {
+    std::printf("fault reroutes    %llu (batch aborts %llu)\n",
+                static_cast<unsigned long long>(out.net.fault_reroutes),
+                static_cast<unsigned long long>(out.net.fault_aborts));
+  }
+
+  if (!trace_path.empty()) {
+    const Status st = trace.WriteFile(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace             %s (%zu events)\n", trace_path.c_str(),
+                trace.num_events());
+  }
+  if (!telemetry_path.empty()) {
+    const Status st = obs::WriteTextFile(
+        telemetry_path, obs::OpenMetricsText(&metrics, &telemetry));
+    if (!st.ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry         %s (%zu series, %zu snapshots)\n",
+                telemetry_path.c_str(), telemetry.series().size(),
+                telemetry.ticks());
+  }
+  return 0;
+}
+
 int CmdTpch(const Args& args) {
   const std::string which = args.Get("query", "all");
   const double sf = args.GetD("sf", 0.05);
@@ -423,7 +560,7 @@ int CmdScenario(int argc, char** argv) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: mgjoin <topo|join|tpch|report|scenario> "
+               "usage: mgjoin <topo|join|serve|tpch|report|scenario> "
                "[--flag value ...]\n"
                "  topo  --machine dgx1|dgxstation|dgx2\n"
                "  join  --gpus N --tuples N --policy adaptive|direct|"
@@ -437,6 +574,13 @@ void Usage() {
                "--sample-every=250us\n"
                "        --faults=down:gpu0-gpu3:@5ms,degrade:qpi0:0.5:@10ms,"
                "flap:nvlink2:@1ms:500usx3\n"
+               "  serve --queries N --inflight N (0 = unlimited; env "
+               "MGJ_INFLIGHT)\n"
+               "        --arbitration fifo|fair|priority (env "
+               "MGJ_ARBITRATION)\n"
+               "        concurrent joins on one shared fabric; prints "
+               "per-query latency,\n"
+               "        queue delay, slowdown-vs-solo and SLO quantiles\n"
                "  tpch  --query 3|5|10|12|14|19|all --sf F "
                "--virtual-sf F\n"
                "  report <trace.json> [--timeline] [--saturation=0.9]\n"
@@ -461,6 +605,7 @@ int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv, 2);
   if (cmd == "topo") return CmdTopo(args);
   if (cmd == "join") return CmdJoin(args);
+  if (cmd == "serve") return CmdServe(args);
   if (cmd == "tpch") return CmdTpch(args);
   if (cmd == "report") return CmdReport(argc, argv);
   if (cmd == "scenario") return CmdScenario(argc, argv);

@@ -18,9 +18,11 @@
 #include "join/local_join.h"
 #include "join/mg_join.h"
 #include "net/fault_plan.h"
+#include "net/link_state.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "svc/service.h"
 #include "topo/presets.h"
 
 namespace mgjoin {
@@ -321,6 +323,65 @@ TEST(DeterminismTest, LocalJoinPairOrderMatchesSerial) {
     EXPECT_EQ(par.partition_tuple_passes, serial.partition_tuple_passes)
         << t;
     EXPECT_TRUE(par.pairs == serial.pairs) << t;
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+// PR 9 crossover: a multi-tenant service run — concurrent queries
+// interleaving on a faulted fabric under each arbitration policy —
+// must replay identically at any thread count, down to the exported
+// trace bytes and the per-query SLO report (admission, completion,
+// quantiles and the slowdown-vs-solo column).
+struct ServiceRun {
+  std::string trace_json;
+  std::string slo_text;
+  std::uint64_t checksum = 0;
+};
+
+ServiceRun RunFaultedService(std::size_t threads,
+                             net::ArbitrationKind kind) {
+  ThreadPool::SetDefaultThreads(threads);
+  auto topo = topo::MakeDgx1V();
+  svc::ServiceOptions opts;
+  opts.arbitration = kind;
+  opts.join.virtual_scale = 512;  // stretch the shuffle into the faults
+  opts.join.transfer.faults =
+      net::FaultPlan::Parse(
+          "down:gpu0-gpu3:@1ms,restore:gpu0-gpu3:@4ms,"
+          "flap:nvlink5:@1ms:300usx3,degrade:qpi0:0.4:@0us",
+          *topo)
+          .ValueOrDie();
+  obs::TraceRecorder trace;
+  opts.join.transfer.obs.trace = &trace;
+  std::vector<svc::QuerySpec> queries;
+  for (std::uint64_t q = 1; q <= 4; ++q) {
+    svc::QuerySpec spec;
+    spec.query_id = q;
+    spec.gen.tuples_per_relation = 1u << 14;
+    spec.gen.seed = 42 + q;
+    spec.priority = static_cast<int>(q % 3);
+    queries.push_back(spec);
+  }
+  svc::QueryScheduler sched(topo.get(), topo::FirstNGpus(8), opts);
+  const svc::ServiceResult res = sched.Run(queries).ValueOrDie();
+  ServiceRun run;
+  run.trace_json = trace.ToJson();
+  run.slo_text = res.tenancy.ToText();
+  run.checksum = res.checksum;
+  return run;
+}
+
+TEST(DeterminismTest, ServiceRunInvariantAcrossThreadCounts) {
+  for (const net::ArbitrationKind kind :
+       {net::ArbitrationKind::kFifo, net::ArbitrationKind::kFairShare,
+        net::ArbitrationKind::kPriority}) {
+    const std::string label = net::ArbitrationKindName(kind);
+    const ServiceRun base = RunFaultedService(1, kind);
+    EXPECT_GT(base.checksum, 0u) << label;
+    const ServiceRun run = RunFaultedService(8, kind);
+    EXPECT_EQ(run.checksum, base.checksum) << label;
+    EXPECT_EQ(run.slo_text, base.slo_text) << label;
+    EXPECT_EQ(run.trace_json, base.trace_json) << label;
   }
   ThreadPool::SetDefaultThreads(0);
 }
