@@ -65,6 +65,24 @@ struct TransferOptions {
   /// disable those sinks; a null auditor makes the engine run its own
   /// default one (sampled invariant checks + deadlock watchdog stay on).
   obs::ObsHooks obs;
+  /// Worker threads for the conservative parallel event core
+  /// (QueueKind::kParallel; DESIGN.md Sec 16): 0 resolves from
+  /// MGJ_SIM_THREADS. Consulted only when the driving simulator was
+  /// built with kParallel — the engine then configures its partition
+  /// plan (one shared engine partition, one per participating GPU, one
+  /// per link direction) with the topology's link-latency floor as the
+  /// lookahead. Purely a wall-clock knob: simulated results and traces
+  /// are byte-identical at any setting.
+  int sim_threads = 0;
+  /// Stage final-hop delivery notifications into the destination GPU's
+  /// event partition through the parallel core's mailboxes, instead of
+  /// invoking the callback inline from the (shared-partition) arrival
+  /// handler. Requires kParallel. Adds one event per delivered packet
+  /// and makes windows multi-active, so events_processed() grows and
+  /// observers tick at window barriers; delivery times, packet
+  /// contents, engine stats and traces are unchanged and remain
+  /// byte-identical at any worker count.
+  bool parallel_delivery = false;
 };
 
 /// Aggregate outcome of one data-distribution run.
@@ -154,6 +172,17 @@ class TransferEngine {
   /// Schedules flow availability events. Call once, then run the
   /// simulator to completion.
   void Start();
+
+  /// Event partition owning GPU `gpu`'s delivery notifications under
+  /// QueueKind::kParallel: 1 + dense index (partition 0 is the shared
+  /// engine partition). Valid for participating GPUs.
+  int GpuPartition(int gpu) const { return 1 + dense_[gpu]; }
+
+  /// Event partition reserved for direction `dir` of link `link_id`
+  /// (mirrors LinkStateTable's SoA direction indexing).
+  int LinkPartition(int link_id, int dir) const {
+    return 1 + static_cast<int>(gpus_.size()) + link_id * 2 + dir;
+  }
 
   /// True when every flow's bytes have been delivered.
   bool AllDone() const { return pending_payload_ == 0 && started_; }

@@ -1,0 +1,277 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace mgjoin::sim {
+
+namespace {
+
+/// The executing (engine, partition) pair for this thread. Saved and
+/// restored around each drain so nested simulators (a query's private
+/// net sim running inside a service-level event) route their schedules
+/// to their own engine — or, for a foreign engine, to its outside-run
+/// path.
+struct ExecTls {
+  ParallelEngine* eng = nullptr;
+  std::uint32_t partition = 0;
+};
+thread_local ExecTls tl_exec;
+
+}  // namespace
+
+ParallelEngine::ParallelEngine() {
+  parts_.push_back(std::make_unique<Partition>());
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+int ParallelEngine::ResolveSimThreads(int requested) {
+  long v = requested;
+  if (v <= 0) {
+    const char* env = std::getenv("MGJ_SIM_THREADS");
+    v = env != nullptr ? std::strtol(env, nullptr, 10) : 0;
+  }
+  if (v <= 0) return 0;
+  // The windowed loop never benefits from more workers than a machine
+  // plausibly has; the cap keeps MGJ_SIM_THREADS=10000 sane.
+  return static_cast<int>(std::min(v, 64l));
+}
+
+void ParallelEngine::Configure(int num_partitions, SimTime lookahead,
+                               int threads) {
+  MGJ_CHECK(!running_) << "ConfigurePartitions during Run";
+  MGJ_CHECK(num_partitions >= 1);
+  MGJ_CHECK(lookahead > 0) << "lookahead must be positive";
+  MGJ_CHECK(Empty())
+      << "partitions must be configured before events are scheduled";
+  for (const auto& p : parts_) events_retired_ += p->events;
+  parts_.clear();
+  parts_.reserve(static_cast<std::size_t>(num_partitions));
+  for (int i = 0; i < num_partitions; ++i) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  lookahead_ = lookahead;
+  const int resolved = ResolveSimThreads(threads);
+  threads_ = std::max(1, resolved);
+  pool_.reset();  // re-created lazily at the new size
+}
+
+SimTime ParallelEngine::Now() const {
+  if (tl_exec.eng == this) return parts_[tl_exec.partition]->local_now;
+  return now_;
+}
+
+int ParallelEngine::CurrentPartition() const {
+  if (tl_exec.eng == this) return static_cast<int>(tl_exec.partition);
+  return 0;
+}
+
+void ParallelEngine::ScheduleAt(int partition, SimTime when, MakeFn make,
+                                void* ctx) {
+  MGJ_CHECK(partition >= 0 &&
+            partition < static_cast<int>(parts_.size()))
+      << "partition " << partition << " out of range (have "
+      << parts_.size() << ")";
+  Partition& dst = *parts_[partition];
+  if (tl_exec.eng != this) {
+    ++outside_sched_count_;
+    // Outside the event stream (setup, between runs, a nested foreign
+    // simulator): direct push with a final sequence number. The caller
+    // is single-threaded here, so this is deterministic.
+    MGJ_CHECK(when >= now_)
+        << "scheduling into the past: " << when << " < " << now_;
+    dst.queue.Push(when, next_seq_++, make(ctx, &dst.arena));
+    return;
+  }
+  Partition& src = *parts_[tl_exec.partition];
+  ++src.sched_count;
+  MGJ_CHECK(when >= src.local_now)
+      << "scheduling into the past: " << when << " < " << src.local_now;
+  const bool same = tl_exec.partition == static_cast<std::uint32_t>(partition);
+  if (same && InWindow(when) && when <= until_) {
+    dst.queue.Push(when, kProvisionalSeqBit | src.provisional_seq++,
+                   make(ctx, &dst.arena));
+    return;
+  }
+  if (!same) {
+    MGJ_CHECK(!InWindow(when))
+        << "cross-partition schedule violates the conservative lookahead: "
+        << "partition " << tl_exec.partition << " -> " << partition
+        << ", event at t=" << when << " ps falls inside the executing "
+        << "window [" << win_start_ << ", " << win_start_ << "+"
+        << lookahead_ << ") ps; cross-partition delays must be >= the "
+        << "lookahead";
+  }
+  src.outbox.push_back(Staged{when, src.stage_seq++, tl_exec.partition,
+                              static_cast<std::uint32_t>(partition),
+                              make(ctx, nullptr)});
+}
+
+void ParallelEngine::DrainWindow(int partition, bool observe) {
+  Partition& p = *parts_[partition];
+  const ExecTls saved = tl_exec;
+  tl_exec = {this, static_cast<std::uint32_t>(partition)};
+  p.provisional_seq = 0;
+  CalendarQueue& q = p.queue;
+  while (!q.Empty()) {
+    const SimTime t = q.PeekWhen();
+    if (!InWindow(t) || t > until_) break;
+    if (observe && observer_ != nullptr && next_observation_ <= t) {
+      ObserveUpTo(t);
+    }
+    p.local_now = t;
+    // Batched same-timestamp dispatch, exactly as the serial core: a
+    // handler's push *at* t carries a provisional (higher) seq and so
+    // runs last within the batch.
+    do {
+      ++p.events;
+      q.InvokeNext();
+    } while (!q.Empty() && q.PeekWhen() == t);
+  }
+  tl_exec = saved;
+}
+
+void ParallelEngine::MergeStaged() {
+  for (const auto& up : parts_) {
+    for (auto& s : up->outbox) merged_.push_back(std::move(s));
+    up->outbox.clear();
+  }
+  if (merged_.empty()) return;
+  // Canonical mailbox merge order: (when, stage_seq, src). stage_seq
+  // values from different sources are incomparable as causal history,
+  // but each partition's drain is serial, so the triple is a
+  // worker-count-independent total order (keys from the same source
+  // differ in stage_seq, keys from different sources in src).
+  std::sort(merged_.begin(), merged_.end(),
+            [](const Staged& a, const Staged& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.stage_seq != b.stage_seq) return a.stage_seq < b.stage_seq;
+              return a.src < b.src;
+            });
+  MGJ_CHECK(next_seq_ + merged_.size() < kProvisionalSeqBit);
+  for (Staged& s : merged_) {
+    parts_[s.dst]->queue.Push(s.when, next_seq_++, std::move(s.fn));
+  }
+  merged_.clear();
+}
+
+std::uint64_t ParallelEngine::TotalScheduleCount() const {
+  std::uint64_t n = outside_sched_count_;
+  for (const auto& p : parts_) n += p->sched_count;
+  return n;
+}
+
+void ParallelEngine::ObserveUpTo(SimTime t) {
+  // Same gap-elision and must-not-schedule contract as the serial
+  // core's ObserveUpTo (simulator.cc). Never runs concurrently with a
+  // drain: observers fire pre-window on the driving thread or inside a
+  // solo window, so summing the sharded counters is safe.
+  const std::uint64_t count_before = TotalScheduleCount();
+  observer_(next_observation_);
+  const SimTime last_grid = t - t % observer_interval_;
+  if (last_grid > next_observation_) observer_(last_grid);
+  MGJ_CHECK(TotalScheduleCount() == count_before)
+      << "simulator observer scheduled an event";
+  next_observation_ = last_grid > kSimTimeMax - observer_interval_
+                          ? kSimTimeMax
+                          : last_grid + observer_interval_;
+}
+
+SimTime ParallelEngine::Run(SimTime until, bool bounded) {
+  MGJ_CHECK(!running_) << "Simulator::Run is not reentrant";
+  running_ = true;
+  until_ = bounded ? until : kSimTimeMax;
+  for (;;) {
+    SimTime t_min = kSimTimeMax;
+    bool any = false;
+    for (const auto& up : parts_) {
+      if (up->queue.Empty()) continue;
+      any = true;
+      t_min = std::min(t_min, up->queue.PeekWhen());
+    }
+    if (!any) break;
+    if (bounded && t_min > until) break;
+    win_start_ = t_min;
+    if (observer_ != nullptr && next_observation_ <= t_min) {
+      ObserveUpTo(t_min);
+    }
+    active_.clear();
+    for (int p = 0; p < static_cast<int>(parts_.size()); ++p) {
+      CalendarQueue& q = parts_[p]->queue;
+      if (q.Empty()) continue;
+      const SimTime head = q.PeekWhen();
+      if (InWindow(head) && head <= until_) active_.push_back(p);
+    }
+    MGJ_CHECK(!active_.empty());  // the t_min partition is always active
+    if (active_.size() == 1) {
+      // Solo fast path: no barrier, and exact serial observer
+      // semantics (grid points interleave with event batches). This is
+      // the steady state for transfer-engine runs, whose events all
+      // live in the shared partition 0.
+      DrainWindow(active_[0], /*observe=*/true);
+    } else if (threads_ <= 1) {
+      for (int p : active_) DrainWindow(p, /*observe=*/false);
+    } else {
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<ThreadPool>(
+            static_cast<std::size_t>(threads_));
+      }
+      for (int p : active_) {
+        pool_->Submit([this, p] { DrainWindow(p, /*observe=*/false); });
+      }
+      pool_->Wait();
+    }
+    for (int p : active_) now_ = std::max(now_, parts_[p]->local_now);
+    MergeStaged();
+  }
+  if (bounded && now_ < until) {
+    if (observer_ != nullptr && next_observation_ <= until) {
+      ObserveUpTo(until);
+    }
+    now_ = until;
+  }
+  running_ = false;
+  return now_;
+}
+
+std::uint64_t ParallelEngine::events_processed() const {
+  std::uint64_t n = events_retired_;
+  for (const auto& p : parts_) n += p->events;
+  return n;
+}
+
+std::size_t ParallelEngine::queue_size() const {
+  std::size_t n = 0;
+  for (const auto& p : parts_) n += p->queue.size() + p->outbox.size();
+  return n;
+}
+
+bool ParallelEngine::Empty() const {
+  for (const auto& p : parts_) {
+    if (!p->queue.Empty() || !p->outbox.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t ParallelEngine::arena_blocks_allocated() const {
+  std::size_t n = 0;
+  for (const auto& p : parts_) n += p->arena.blocks_allocated();
+  return n;
+}
+
+void ParallelEngine::SetObserver(SimTime interval,
+                                 std::function<void(SimTime)> fn) {
+  observer_interval_ = interval;
+  observer_ = std::move(fn);
+  next_observation_ = (now_ / interval + 1) * interval;
+}
+
+void ParallelEngine::ClearObserver() {
+  observer_ = nullptr;
+  observer_interval_ = 0;
+}
+
+}  // namespace mgjoin::sim

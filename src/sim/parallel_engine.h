@@ -1,0 +1,191 @@
+#ifndef MGJOIN_SIM_PARALLEL_ENGINE_H_
+#define MGJOIN_SIM_PARALLEL_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/event_fn.h"
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+
+namespace mgjoin::sim {
+
+/// \brief Conservative parallel discrete-event core behind
+/// QueueKind::kParallel (DESIGN.md Sec 16).
+///
+/// The event population is split into logical partitions, each backed by
+/// its own CalendarQueue and EventArena. Execution proceeds in bounded
+/// time windows [T, T + lookahead), where T is the global minimum
+/// pending event time and the lookahead is the static minimum
+/// cross-partition latency (the link-latency floor of the topology).
+/// Within a window every partition with pending events drains them
+/// independently — in parallel across worker threads when more than one
+/// partition is active — because conservative DES guarantees no event
+/// scheduled during the window can land inside it on *another*
+/// partition: cross-partition schedules must respect the lookahead
+/// (checked fatally) and are staged into per-source outbox mailboxes.
+/// At the window barrier the staged events are merged in the canonical
+/// (when, stage_seq, src_partition) order, assigned their final global
+/// sequence numbers, and pushed into the destination queues.
+///
+/// Determinism: partition drains are serial per partition, the staged
+/// merge order is a total order independent of the worker count, and
+/// in-window pushes use partition-local provisional sequence numbers
+/// (always ordered after any barrier-assigned final number at the same
+/// timestamp, exactly like a freshly scheduled event in the serial
+/// core). Results are therefore byte-identical at any MGJ_SIM_THREADS
+/// setting. A run whose windows are all solo — only one partition ever
+/// active, which is how the transfer engine drives it — additionally
+/// reproduces the serial kCalendar core byte for byte, including exact
+/// observer grid semantics; multi-active windows tick observers at
+/// window barriers only (still deterministic: the active pattern does
+/// not depend on the worker count).
+class ParallelEngine {
+ public:
+  /// Type-erased EventFn factory: lets the Simulator facade's template
+  /// defer EventFn construction until the engine has decided which
+  /// arena (the target partition's, or none for staged cross-thread
+  /// events) must back the callable.
+  using MakeFn = EventFn (*)(void* ctx, EventArena* arena);
+
+  ParallelEngine();
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
+
+  /// \brief Sets the partition count, static lookahead and worker
+  /// count. Must be called before any event is scheduled (checked);
+  /// the default configuration is one partition with unbounded
+  /// lookahead, which degenerates to the serial drain loop.
+  ///
+  /// `threads` <= 0 resolves from MGJ_SIM_THREADS (then 1). Worker
+  /// threads spawn lazily on the first window with more than one
+  /// active partition, so single-partition workloads never pay for a
+  /// pool.
+  void Configure(int num_partitions, SimTime lookahead, int threads);
+
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  SimTime lookahead() const { return lookahead_; }
+  int threads() const { return threads_; }
+
+  /// Current simulated time: the executing partition's local clock
+  /// from inside an event handler, the global clock otherwise.
+  SimTime Now() const;
+
+  /// The partition whose event is executing on this thread, or 0 when
+  /// called from outside the event stream.
+  int CurrentPartition() const;
+
+  /// \brief Schedules an event into `partition` at absolute time
+  /// `when` (type-erased; see MakeFn).
+  ///
+  /// From inside a window: same-partition events landing in the
+  /// current window are pushed directly with a provisional sequence
+  /// number; everything else is staged into the source partition's
+  /// outbox for the barrier merge. A cross-partition event whose time
+  /// falls inside the executing window violates the conservative
+  /// lookahead contract and MGJ_CHECK-fails with both partitions and
+  /// the offending times.
+  void ScheduleAt(int partition, SimTime when, MakeFn make, void* ctx);
+
+  /// Runs the windowed loop. `bounded` gives RunUntil semantics: only
+  /// events with when <= `until` execute and the clock always advances
+  /// to `until`; otherwise runs to queue exhaustion.
+  SimTime Run(SimTime until, bool bounded);
+
+  std::uint64_t events_processed() const;
+  std::size_t queue_size() const;
+  bool Empty() const;
+  std::size_t arena_blocks_allocated() const;
+
+  /// Observer contract mirrors Simulator::SetObserver: fired outside
+  /// the event stream on grid multiples of `interval`, gap-elided, and
+  /// must not schedule events (checked).
+  void SetObserver(SimTime interval, std::function<void(SimTime)> fn);
+  void ClearObserver();
+
+  /// \brief Worker-count resolution for the parallel core.
+  ///
+  /// `requested` > 0 wins, else MGJ_SIM_THREADS. Returns 0 when
+  /// neither asks for the parallel core — callers use that to fall
+  /// back to the serial kCalendar default — and clamps to [1, 64]
+  /// otherwise.
+  static int ResolveSimThreads(int requested);
+
+ private:
+  /// Provisional sequence numbers carry the top bit so they order
+  /// after every barrier-assigned final number at the same timestamp —
+  /// the same "scheduled later runs later" FIFO rule as the serial
+  /// core. They never survive their window: a provisional event's time
+  /// is inside the window, so the drain loop always consumes it.
+  static constexpr std::uint64_t kProvisionalSeqBit = 1ull << 63;
+
+  struct Staged {
+    SimTime when = 0;
+    std::uint64_t stage_seq = 0;  ///< per-source staging order
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    EventFn fn;
+  };
+
+  struct Partition {
+    // The arena is thread-confined: only the main thread (outside
+    // runs) and whichever worker drains the partition touch it, and
+    // those accesses are separated by the window barrier.
+    EventArena arena;
+    CalendarQueue queue;
+    SimTime local_now = 0;
+    std::uint64_t provisional_seq = 0;  // reset at each window entry
+    std::uint64_t stage_seq = 0;
+    std::uint64_t events = 0;
+    std::uint64_t sched_count = 0;
+    std::vector<Staged> outbox;
+  };
+
+  /// True iff `when` (>= win_start_) falls inside the executing
+  /// window. A window starting at the saturated clock covers exactly
+  /// the saturated timestamp, so parked kSimTimeMax events still drain
+  /// in unbounded runs.
+  bool InWindow(SimTime when) const {
+    if (win_start_ == kSimTimeMax) return when == kSimTimeMax;
+    return when - win_start_ < lookahead_;
+  }
+
+  void DrainWindow(int partition, bool observe);
+  void MergeStaged();
+  void ObserveUpTo(SimTime t);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_retired_ = 0;  ///< carried across Configure
+  SimTime lookahead_ = kSimTimeMax;
+  int threads_ = 1;
+  bool running_ = false;
+  SimTime win_start_ = 0;
+  SimTime until_ = kSimTimeMax;
+
+  /// Schedules issued from outside any window. ObserveUpTo adds the
+  /// per-partition counters (sharded so concurrent drains never share a
+  /// cache line, let alone race) to enforce the observer-must-not-
+  /// schedule contract; next_seq_ alone would miss provisional and
+  /// staged pushes.
+  std::uint64_t outside_sched_count_ = 0;
+  std::uint64_t TotalScheduleCount() const;
+  SimTime observer_interval_ = 0;
+  SimTime next_observation_ = 0;
+  std::function<void(SimTime)> observer_;
+
+  // unique_ptr: CalendarQueue is intentionally immovable.
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<int> active_;
+  std::vector<Staged> merged_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace mgjoin::sim
+
+#endif  // MGJOIN_SIM_PARALLEL_ENGINE_H_

@@ -44,14 +44,27 @@ SimTime Simulator::RunLoop(Q& queue, SimTime until, bool bounded) {
 }
 
 SimTime Simulator::Run() {
-  return kind_ == QueueKind::kCalendar
-             ? RunLoop(calendar_, kSimTimeMax, false)
-             : RunLoop(heap_, kSimTimeMax, false);
+  switch (kind_) {
+    case QueueKind::kCalendar:
+      return RunLoop(calendar_, kSimTimeMax, false);
+    case QueueKind::kHeapReference:
+      return RunLoop(heap_, kSimTimeMax, false);
+    case QueueKind::kParallel:
+      return par_->Run(kSimTimeMax, false);
+  }
+  return now_;
 }
 
 SimTime Simulator::RunUntil(SimTime until) {
-  return kind_ == QueueKind::kCalendar ? RunLoop(calendar_, until, true)
-                                       : RunLoop(heap_, until, true);
+  switch (kind_) {
+    case QueueKind::kCalendar:
+      return RunLoop(calendar_, until, true);
+    case QueueKind::kHeapReference:
+      return RunLoop(heap_, until, true);
+    case QueueKind::kParallel:
+      return par_->Run(until, true);
+  }
+  return now_;
 }
 
 }  // namespace mgjoin::sim
